@@ -1,0 +1,107 @@
+// Benchmarks regenerating every experiment table (E1–E8) and ablation
+// (A1–A3) from EXPERIMENTS.md, one benchmark per experiment. Each benchmark
+// runs the Quick-scale sweep once per iteration and reports the headline
+// number as a custom metric; `cmd/isis-bench -scale full` prints the
+// full-scale tables the documentation records.
+package isis_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/reliability"
+)
+
+func runTable(b *testing.B, f func(experiments.Scale) (*metrics.Table, error)) *metrics.Table {
+	b.Helper()
+	var last *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t, err := f(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if last == nil || last.Rows() == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	return last
+}
+
+// BenchmarkE1RequestCost regenerates E1: coordinator-cohort request cost,
+// flat (≈2n messages) vs hierarchical (bounded by leaf size).
+func BenchmarkE1RequestCost(b *testing.B) {
+	t := runTable(b, experiments.E1RequestCost)
+	b.ReportMetric(float64(t.Rows()), "sizes")
+}
+
+// BenchmarkE2TrafficScaling regenerates E2: total traffic vs client count.
+func BenchmarkE2TrafficScaling(b *testing.B) {
+	t := runTable(b, experiments.E2TrafficScaling)
+	b.ReportMetric(float64(t.Rows()), "points")
+}
+
+// BenchmarkE3MembershipChange regenerates E3: cost of one member failure.
+func BenchmarkE3MembershipChange(b *testing.B) {
+	t := runTable(b, experiments.E3MembershipChange)
+	b.ReportMetric(float64(t.Rows()), "sizes")
+}
+
+// BenchmarkE4Reliability regenerates E4: availability vs size and
+// resiliency (analytic model).
+func BenchmarkE4Reliability(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t1, t2 := experiments.E4Reliability(experiments.Quick)
+		rows = t1.Rows() + t2.Rows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+	b.ReportMetric(float64(reliability.ResiliencyKnee(0.05, 1e-6, 20)), "resiliency_knee")
+}
+
+// BenchmarkE5TreeBroadcast regenerates E5: flat vs tree-structured
+// whole-group broadcast across fanouts.
+func BenchmarkE5TreeBroadcast(b *testing.B) {
+	t := runTable(b, experiments.E5TreeBroadcast)
+	b.ReportMetric(float64(t.Rows()), "configurations")
+}
+
+// BenchmarkE6ViewStorage regenerates E6: per-process view storage.
+func BenchmarkE6ViewStorage(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = experiments.E6ViewStorage(experiments.Quick).Rows()
+	}
+	b.ReportMetric(float64(rows), "sizes")
+}
+
+// BenchmarkE7TradingRoom regenerates E7: the trading-room workload.
+func BenchmarkE7TradingRoom(b *testing.B) {
+	t := runTable(b, experiments.E7TradingRoom)
+	b.ReportMetric(float64(t.Rows()), "rows")
+}
+
+// BenchmarkE8SplitMerge regenerates E8: subgroup reorganisation under churn.
+func BenchmarkE8SplitMerge(b *testing.B) {
+	t := runTable(b, experiments.E8SplitMerge)
+	b.ReportMetric(float64(t.Rows()), "phases")
+}
+
+// BenchmarkAblationFanout regenerates A1: the fanout sweep.
+func BenchmarkAblationFanout(b *testing.B) {
+	t := runTable(b, experiments.A1Fanout)
+	b.ReportMetric(float64(t.Rows()), "fanouts")
+}
+
+// BenchmarkAblationResiliency regenerates A2: the resiliency sweep.
+func BenchmarkAblationResiliency(b *testing.B) {
+	t := runTable(b, experiments.A2Resiliency)
+	b.ReportMetric(float64(t.Rows()), "levels")
+}
+
+// BenchmarkAblationOrdering regenerates A3: FBCAST vs CBCAST vs ABCAST cost.
+func BenchmarkAblationOrdering(b *testing.B) {
+	t := runTable(b, experiments.A3Ordering)
+	b.ReportMetric(float64(t.Rows()), "orderings")
+}

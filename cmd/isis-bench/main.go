@@ -1,0 +1,94 @@
+// Command isis-bench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E8 plus
+// the ablations A1–A3.
+//
+// Usage:
+//
+//	isis-bench                         # run every experiment at quick scale
+//	isis-bench -scale full             # paper-scale sweeps (slower)
+//	isis-bench -experiment E1,E5       # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E8, A1..A3) or 'all'")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if strings.EqualFold(*scaleFlag, "full") {
+		scale = experiments.Full
+	}
+
+	selected := map[string]bool{}
+	if strings.EqualFold(*expFlag, "all") {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3"} {
+			selected[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	type runner struct {
+		id  string
+		run func() ([]*metrics.Table, error)
+	}
+	wrap1 := func(f func(experiments.Scale) (*metrics.Table, error)) func() ([]*metrics.Table, error) {
+		return func() ([]*metrics.Table, error) {
+			t, err := f(scale)
+			return []*metrics.Table{t}, err
+		}
+	}
+	runners := []runner{
+		{"E1", wrap1(experiments.E1RequestCost)},
+		{"E2", wrap1(experiments.E2TrafficScaling)},
+		{"E3", wrap1(experiments.E3MembershipChange)},
+		{"E4", func() ([]*metrics.Table, error) {
+			t1, t2 := experiments.E4Reliability(scale)
+			return []*metrics.Table{t1, t2}, nil
+		}},
+		{"E5", wrap1(experiments.E5TreeBroadcast)},
+		{"E6", func() ([]*metrics.Table, error) {
+			return []*metrics.Table{experiments.E6ViewStorage(scale)}, nil
+		}},
+		{"E7", wrap1(experiments.E7TradingRoom)},
+		{"E8", wrap1(experiments.E8SplitMerge)},
+		{"A1", wrap1(experiments.A1Fanout)},
+		{"A2", wrap1(experiments.A2Resiliency)},
+		{"A3", wrap1(experiments.A3Ordering)},
+	}
+
+	failed := false
+	for _, r := range runners {
+		if !selected[r.id] {
+			continue
+		}
+		start := time.Now()
+		tables, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s (scale %s, %s) ===\n", r.id, *scaleFlag, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command isis-demo runs a small self-contained demonstration of the
+// hierarchical process-group machinery on the in-memory fabric: it builds a
+// 20-member service, prints the subgroup tree, issues a few client requests,
+// performs a whole-group broadcast, crashes a member, and prints the tree
+// again — a one-command tour of the paper's mechanisms.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	isis "repro"
+)
+
+func main() {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+
+	const members = 20
+	cfg := isis.ServiceConfig{
+		Fanout:     4,
+		Resiliency: 2,
+		RequestHandler: func(p []byte) []byte {
+			return append([]byte("quoted: "), p...)
+		},
+		OnBroadcast: func(p []byte) {},
+	}
+
+	founderProc := sys.MustSpawn()
+	founder, err := founderProc.CreateService("quotes", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := []*isis.Process{founderProc}
+	for i := 1; i < members; i++ {
+		p := sys.MustSpawn()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := p.JoinService(ctx, "quotes", founderProc.ID(), cfg); err != nil {
+			log.Fatalf("member %d join: %v", i, err)
+		}
+		cancel()
+		procs = append(procs, p)
+	}
+	isis.WaitFor(5*time.Second, func() bool { return founder.Tree().TotalMembers() == members })
+
+	printTree := func(when string) {
+		tree := founder.Tree()
+		fmt.Printf("\n--- subgroup tree %s: %d members in %d leaves (depth %d) ---\n",
+			when, tree.TotalMembers(), tree.LeafCount(), tree.Depth())
+		for _, l := range tree.Leaves {
+			fmt.Printf("  %-16v size=%-2d contacts=%v\n", l.ID, l.Size, l.Contacts)
+		}
+	}
+	printTree("after start-up")
+
+	clientProc := sys.MustSpawn()
+	client := clientProc.NewServiceClient("quotes", founderProc.ID())
+	for _, symbol := range []string{"IBM", "DEC", "SUN"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		reply, err := client.Request(ctx, []byte(symbol))
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %-4s -> %s (served by %v)\n", symbol, reply, client.CachedServer())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	covered, err := founder.Broadcast(ctx, []byte("market-open"))
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhole-group broadcast covered %d members via the fanout-bounded tree\n", covered)
+
+	victim := procs[len(procs)-1]
+	fmt.Printf("\ncrashing workstation %v ...\n", victim.ID())
+	sys.Crash(victim)
+	sys.InjectFailure(victim)
+	isis.WaitFor(5*time.Second, func() bool { return founder.Tree().TotalMembers() == members-1 })
+	printTree("after one workstation failure")
+
+	stats := sys.Stats()
+	fmt.Printf("\nfabric totals: %d messages sent, %d delivered, %d dropped\n",
+		stats.MessagesSent, stats.MessagesDelivered, stats.MessagesDropped)
+}

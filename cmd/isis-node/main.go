@@ -1,0 +1,118 @@
+// Command isis-node runs one workstation process over real TCP, either
+// founding a hierarchical service or joining an existing one, and then
+// serves requests until interrupted. It demonstrates that the protocol stack
+// is transport-independent: the same code that the simulations exercise over
+// the in-memory fabric runs here over sockets.
+//
+// Start a founder and two more members on one machine:
+//
+//	isis-node -site 1 -listen 127.0.0.1:7001 -create -service quotes
+//	isis-node -site 2 -listen 127.0.0.1:7002 -service quotes -contact 1=127.0.0.1:7001
+//	isis-node -site 3 -listen 127.0.0.1:7003 -service quotes -contact 1=127.0.0.1:7001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdetect"
+	"repro/internal/group"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func main() {
+	site := flag.Uint("site", 1, "site id of this workstation (must be unique)")
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	service := flag.String("service", "quotes", "large-group service name")
+	create := flag.Bool("create", false, "found the service instead of joining it")
+	contact := flag.String("contact", "", "peer to join through, as site=host:port")
+	fanout := flag.Int("fanout", 8, "fanout bound for the hierarchical group")
+	resiliency := flag.Int("resiliency", 3, "resiliency (acknowledgements / replicas)")
+	flag.Parse()
+
+	tcp := transport.NewTCP()
+	self := types.ProcessID{Site: types.SiteID(*site), Incarnation: 1}
+
+	var contactPID types.ProcessID
+	if *contact != "" {
+		parts := strings.SplitN(*contact, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -contact %q, want site=host:port", *contact)
+		}
+		siteNum, err := strconv.Atoi(parts[0])
+		if err != nil {
+			log.Fatalf("bad -contact site %q: %v", parts[0], err)
+		}
+		contactPID = types.ProcessID{Site: types.SiteID(siteNum), Incarnation: 1}
+		tcp.AddPeer(contactPID, parts[1])
+	}
+
+	ep, err := tcp.AttachAt(self, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := newNodeOn(self, ep)
+	det := fdetect.New(n, fdetect.DefaultConfig(), nil)
+	stack := group.NewStack(n, det)
+	host := core.NewHost(stack)
+	n.Start()
+	defer n.Stop()
+
+	cfg := core.Config{
+		Fanout:     *fanout,
+		Resiliency: *resiliency,
+		RequestHandler: func(p []byte) []byte {
+			return []byte(fmt.Sprintf("site %d handled %q at %s", *site, p, time.Now().Format(time.RFC3339Nano)))
+		},
+		OnBroadcast: func(p []byte) { log.Printf("broadcast delivered: %q", p) },
+	}
+
+	var agent *core.Agent
+	if *create {
+		agent, err = host.Create(*service, cfg)
+	} else {
+		if contactPID.IsNil() {
+			log.Fatal("joining requires -contact site=host:port")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		agent, err = host.Join(ctx, *service, contactPID, cfg)
+		cancel()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("site %d up as %v; service %q; leader=%v; leaf=%v",
+		*site, self, *service, agent.IsLeader(), agent.Leaf().ID())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}
+
+// newNodeOn builds a node directly on an already-attached endpoint. The node
+// package attaches endpoints itself for the common case; the TCP daemon
+// needs to control the listen address, so it wraps the endpoint in a
+// single-use network.
+func newNodeOn(pid types.ProcessID, ep transport.Endpoint) *node.Node {
+	n, err := node.New(pid, fixedNetwork{ep: ep})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+type fixedNetwork struct{ ep transport.Endpoint }
+
+func (f fixedNetwork) Attach(types.ProcessID) (transport.Endpoint, error) { return f.ep, nil }

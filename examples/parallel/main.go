@@ -1,0 +1,73 @@
+// Subdivided parallel computation: the ISIS toolkit's scatter/gather tool.
+// A risk-analysis batch (pricing a portfolio under many scenarios) is split
+// across the members of a compute group; each member prices its share and
+// the results are gathered in order.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	isis "repro"
+	"repro/internal/toolkit"
+)
+
+func main() {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+
+	const workers = 6
+	procs := make([]*isis.Process, workers)
+	groups := make([]*isis.Group, workers)
+	tools := make([]*toolkit.Parallel, workers)
+
+	var err error
+	procs[0] = sys.MustSpawn()
+	groups[0], err = procs[0].CreateGroup("compute", isis.GroupConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 1; i < workers; i++ {
+		procs[i] = sys.MustSpawn()
+		groups[i], err = procs[i].JoinGroup(ctx, "compute", procs[0].ID(), isis.GroupConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each worker registers the same pricing function.
+	price := func(item []byte) []byte {
+		parts := strings.Fields(string(item))
+		scenario, _ := strconv.Atoi(parts[1])
+		value := 1000.0
+		for i := 0; i < 10000; i++ { // a little real work per scenario
+			value += float64((scenario*i)%7) * 0.0001
+		}
+		return []byte(fmt.Sprintf("%s value=%.2f", item, value))
+	}
+	for i := range tools {
+		tools[i] = toolkit.NewParallel(groups[i], price)
+	}
+
+	// 48 scenarios scattered across the 6 workers.
+	items := make([][]byte, 48)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("scenario %d", i))
+	}
+	start := time.Now()
+	results, err := tools[0].Scatter(ctx, items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("priced %d scenarios across %d workstations in %v\n", len(results), workers, time.Since(start).Round(time.Millisecond))
+	for _, r := range results[:4] {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("  ... (%d more)\n", len(results)-4)
+}

@@ -1,0 +1,101 @@
+// Trading room: the paper's first motivating application. A quote/analytics
+// service of 24 workstation processes is organised as a hierarchical large
+// group; 120 analyst workstations issue requests with a one-second deadline;
+// a market-wide halt is distributed with the tree-structured broadcast; and
+// one server workstation crashes mid-run to show that the disturbance stays
+// inside a single leaf subgroup.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	isis "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+
+	const serviceSize = 24
+	const analysts = 120
+
+	var halts atomic.Int32
+	cfg := isis.ServiceConfig{
+		Fanout:     6,
+		Resiliency: 3,
+		RequestHandler: func(p []byte) []byte {
+			// A trivial pricing function standing in for the analytics the
+			// paper's trading analysts run.
+			return []byte(fmt.Sprintf("%s -> %d.%02d", p, 90+len(p)%20, len(p)%100))
+		},
+		OnBroadcast: func(p []byte) { halts.Add(1) },
+	}
+
+	founder := sys.MustSpawn()
+	svc, err := founder.CreateService("quotes", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers := []*isis.Process{founder}
+	for i := 1; i < serviceSize; i++ {
+		p := sys.MustSpawn()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := p.JoinService(ctx, "quotes", founder.ID(), cfg); err != nil {
+			log.Fatalf("server %d: %v", i, err)
+		}
+		cancel()
+		servers = append(servers, p)
+	}
+	isis.WaitFor(5*time.Second, func() bool { return svc.Tree().TotalMembers() == serviceSize })
+	fmt.Printf("quote service up: %d workstations in %d leaf subgroups\n",
+		svc.Tree().TotalMembers(), svc.Tree().LeafCount())
+
+	// Analyst workstations: each is a client process with its own cached
+	// binding to a leaf of the service.
+	clientHost := sys.MustSpawn()
+	clients := make([]*isis.ServiceClient, analysts)
+	for i := range clients {
+		clients[i] = clientHost.NewServiceClient("quotes", founder.ID())
+	}
+
+	tcfg := workload.TradingConfig{Workstations: analysts, RequestsPerClient: 4, Symbols: 128, Deadline: time.Second, Seed: 7}
+	driver := workload.Driver{Deadline: tcfg.Deadline, Concurrency: 32}
+	res := driver.Run(context.Background(), workload.TradingStreams(tcfg), func(client int) workload.RequestFunc {
+		return func(ctx context.Context, payload []byte) ([]byte, error) {
+			return clients[client].Request(ctx, payload)
+		}
+	})
+	fmt.Printf("phase 1: %d requests, p50 %v, p99 %v, %d deadline misses, %d errors\n",
+		res.Requests, res.Latency.Percentile(50), res.Latency.Percentile(99), res.DeadlineMiss, res.Errors)
+
+	// Market halt: one event that really must reach every server.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	covered, err := svc.Broadcast(ctx, []byte("HALT trading in sym042"))
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	isis.WaitFor(3*time.Second, func() bool { return int(halts.Load()) >= covered })
+	fmt.Printf("market halt broadcast covered %d servers (delivered at %d)\n", covered, halts.Load())
+
+	// A server workstation fails mid-day.
+	victim := servers[len(servers)-1]
+	sys.Crash(victim)
+	sys.InjectFailure(victim)
+	isis.WaitFor(5*time.Second, func() bool { return svc.Tree().TotalMembers() == serviceSize-1 })
+	fmt.Printf("after a server failure the service still has %d members in %d leaves\n",
+		svc.Tree().TotalMembers(), svc.Tree().LeafCount())
+
+	res = driver.Run(context.Background(), workload.TradingStreams(tcfg), func(client int) workload.RequestFunc {
+		return func(ctx context.Context, payload []byte) ([]byte, error) {
+			return clients[client].Request(ctx, payload)
+		}
+	})
+	fmt.Printf("phase 2 (after failure): %d requests, p99 %v, %d deadline misses, %d errors\n",
+		res.Requests, res.Latency.Percentile(99), res.DeadlineMiss, res.Errors)
+}

@@ -1,0 +1,642 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/member"
+	"repro/internal/node"
+	"repro/internal/treecast"
+	"repro/internal/types"
+)
+
+// Agent is one process's participation in one large group. Every agent is a
+// member of exactly one leaf subgroup; the first cfg.LeaderSize agents are
+// additionally members of the resilient leader group that manages the
+// subgroup tree.
+type Agent struct {
+	host *Host
+	name string
+	cfg  Config
+
+	// Actor-owned state.
+	leaf           *group.Group
+	leafID         types.GroupID
+	leader         *group.Group
+	tree           *Tree
+	leaderContacts []types.ProcessID
+	moving         bool
+	closed         bool
+	reqCounter     uint64
+	pendingAggs    map[uint64]*aggState
+
+	// Statistics (actor-owned; snapshots taken via Stats).
+	statRequestsHandled uint64
+	statCohortCopies    uint64
+	statBroadcasts      uint64
+
+	// Snapshot fields readable from any goroutine.
+	mu       sync.Mutex
+	snapLeaf *group.Group
+	snapLead bool
+}
+
+// aggState tracks one tree broadcast this process is forwarding or
+// initiating.
+type aggState struct {
+	agg    *treecast.Aggregator
+	origin *types.Message // non-nil on the initiator: the request to answer
+	parent types.ProcessID
+	leafID types.GroupID
+}
+
+func newAgent(h *Host, name string, cfg Config) *Agent {
+	return &Agent{
+		host:        h,
+		name:        name,
+		cfg:         cfg,
+		pendingAggs: make(map[uint64]*aggState),
+	}
+}
+
+// Name returns the large group's name.
+func (a *Agent) Name() string { return a.name }
+
+// Leaf returns the leaf subgroup this process currently belongs to.
+func (a *Agent) Leaf() *group.Group {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapLeaf
+}
+
+// IsLeader reports whether this process is a member of the leader group.
+func (a *Agent) IsLeader() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapLead
+}
+
+// LeaderContacts returns the currently known leader-group contacts.
+func (a *Agent) LeaderContacts() []types.ProcessID {
+	var out []types.ProcessID
+	_ = a.stackNode().Call(func() { out = types.CopyProcesses(a.leaderContacts) })
+	return out
+}
+
+// Tree returns a copy of the subgroup tree as this process knows it (only
+// leader members hold one; others get an empty tree).
+func (a *Agent) Tree() *Tree {
+	var t *Tree
+	_ = a.stackNode().Call(func() {
+		if a.tree != nil {
+			t = a.tree.Clone()
+		}
+	})
+	if t == nil {
+		t = NewTree(a.name, a.cfg.Fanout)
+	}
+	return t
+}
+
+// Stats is a snapshot of per-agent counters used by experiments.
+type Stats struct {
+	RequestsHandled uint64
+	CohortCopies    uint64
+	Broadcasts      uint64
+}
+
+// Stats returns the agent's counters.
+func (a *Agent) Stats() Stats {
+	var s Stats
+	_ = a.stackNode().Call(func() {
+		s = Stats{
+			RequestsHandled: a.statRequestsHandled,
+			CohortCopies:    a.statCohortCopies,
+			Broadcasts:      a.statBroadcasts,
+		}
+	})
+	return s
+}
+
+// stackNode returns the node hosting this agent's process.
+func (a *Agent) stackNode() *node.Node { return a.host.stack.Node() }
+
+// --- bootstrap and join ---------------------------------------------------------
+
+// bootstrap founds the large group: this process becomes the first leader
+// member and the first (sole) member of leaf 0.
+func (a *Agent) bootstrap() error {
+	self := a.stackNode().PID()
+	tree := NewTree(a.name, a.cfg.Fanout)
+	info := tree.AddLeaf(self)
+
+	if err := a.stackNode().Call(func() {
+		a.tree = tree
+		a.leaderContacts = []types.ProcessID{self}
+	}); err != nil {
+		return err
+	}
+
+	leader, err := a.host.stack.Create(types.LeaderGroup(a.name), a.leaderGroupConfig())
+	if err != nil {
+		return fmt.Errorf("large group %q: create leader group: %w", a.name, err)
+	}
+	leaf, err := a.host.stack.Create(info.ID, a.leafGroupConfig(info.ID))
+	if err != nil {
+		return fmt.Errorf("large group %q: create leaf group: %w", a.name, err)
+	}
+	return a.adopt(leaf, info.ID, leader)
+}
+
+// joinVia requests placement from any participant and joins the assigned
+// leaf (and possibly the leader group).
+func (a *Agent) joinVia(ctx context.Context, contact types.ProcessID) error {
+	for {
+		pl, err := a.requestPlacement(ctx, contact)
+		if err != nil {
+			return err
+		}
+		if err := a.stackNode().Call(func() {
+			if len(pl.LeaderContacts) > 0 {
+				a.leaderContacts = types.CopyProcesses(pl.LeaderContacts)
+			} else {
+				a.leaderContacts = []types.ProcessID{contact}
+			}
+		}); err != nil {
+			return err
+		}
+
+		var leaf *group.Group
+		if pl.Create {
+			leaf, err = a.host.stack.Create(pl.Leaf, a.leafGroupConfig(pl.Leaf))
+		} else {
+			leaf, err = a.joinLeaf(ctx, pl.Leaf, pl.Contacts)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("join large group %q: %w", a.name, types.ErrTimeout)
+			}
+			// The assigned leaf may have dissolved in the meantime; ask for a
+			// fresh placement.
+			continue
+		}
+
+		var leader *group.Group
+		if pl.AlsoLeader {
+			lg, lerr := a.host.stack.Join(ctx, pl.LeaderGroup, pl.LeaderContacts[0], a.leaderGroupConfig())
+			if lerr == nil {
+				leader = lg
+			}
+			// Failing to join the leader group is not fatal: the process is
+			// still a regular member of the service.
+		}
+		return a.adopt(leaf, pl.Leaf, leader)
+	}
+}
+
+func (a *Agent) requestPlacement(ctx context.Context, contact types.ProcessID) (placement, error) {
+	reply, err := a.stackNode().Request(ctx, contact, &types.Message{
+		Kind:  types.KindHJoinRequest,
+		Group: types.BranchGroup(a.name),
+	})
+	if err != nil {
+		return placement{}, fmt.Errorf("join large group %q via %v: %w", a.name, contact, err)
+	}
+	pl, ok := decodePlacement(reply.Payload)
+	if !ok {
+		return placement{}, fmt.Errorf("join large group %q: malformed placement: %w", a.name, types.ErrRejected)
+	}
+	return pl, nil
+}
+
+func (a *Agent) joinLeaf(ctx context.Context, leafID types.GroupID, contacts []types.ProcessID) (*group.Group, error) {
+	var lastErr error = types.ErrNoSuchGroup
+	for _, c := range contacts {
+		sub, cancel := context.WithTimeout(ctx, a.cfg.OpTimeout)
+		g, err := a.host.stack.Join(sub, leafID, c, a.leafGroupConfig(leafID))
+		cancel()
+		if err == nil {
+			return g, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// adopt installs the leaf/leader group references.
+func (a *Agent) adopt(leaf *group.Group, leafID types.GroupID, leader *group.Group) error {
+	err := a.stackNode().Call(func() {
+		a.leaf = leaf
+		a.leafID = leafID
+		if leader != nil {
+			a.leader = leader
+			if a.tree == nil {
+				a.tree = NewTree(a.name, a.cfg.Fanout)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.snapLeaf = leaf
+	a.snapLead = leader != nil
+	a.mu.Unlock()
+	return nil
+}
+
+// Leave removes this process from the large group (its leaf and, if
+// applicable, the leader group).
+func (a *Agent) Leave(ctx context.Context) error {
+	var leaf, leader *group.Group
+	_ = a.stackNode().Call(func() {
+		leaf, leader = a.leaf, a.leader
+		a.closed = true
+	})
+	var firstErr error
+	if leaf != nil && !leaf.Closed() {
+		if err := leaf.Leave(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if leader != nil && !leader.Closed() {
+		if err := leader.Leave(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	_ = a.stackNode().Call(func() { a.host.remove(a.name) })
+	return firstErr
+}
+
+// --- group configurations -------------------------------------------------------
+
+func (a *Agent) leafGroupConfig(leafID types.GroupID) group.Config {
+	return group.Config{
+		Resiliency: a.cfg.Resiliency,
+		OnView: func(v member.View) {
+			a.onLeafView(leafID, v)
+		},
+		OnDeliver: func(d group.Delivery) {
+			a.onLeafDelivery(d)
+		},
+	}
+}
+
+func (a *Agent) leaderGroupConfig() group.Config {
+	return group.Config{
+		Resiliency: a.cfg.Resiliency,
+		OnDeliver: func(d group.Delivery) {
+			a.onLeaderDelivery(d)
+		},
+		StateProvider: func() []byte {
+			if a.tree == nil {
+				return NewTree(a.name, a.cfg.Fanout).Encode()
+			}
+			return a.tree.Encode()
+		},
+		StateReceiver: func(b []byte) {
+			if t, err := DecodeTree(b); err == nil {
+				a.tree = t
+			}
+		},
+	}
+}
+
+// onLeafView runs on the actor goroutine whenever the leaf installs a new
+// view. The leaf coordinator reports the membership to the leader group —
+// this is the only membership traffic that ever leaves a leaf, and its size
+// is bounded by the leaf size.
+func (a *Agent) onLeafView(leafID types.GroupID, v member.View) {
+	self := a.stackNode().PID()
+	if v.Coordinator() != self || a.closed {
+		return
+	}
+	report := leafReport{Leaf: leafID, Members: v.Members}
+	a.sendLeafReport(report)
+}
+
+func (a *Agent) sendLeafReport(r leafReport) {
+	self := a.stackNode().PID()
+	msg := &types.Message{
+		Kind:    types.KindHLeafReport,
+		Group:   types.BranchGroup(a.name),
+		Payload: encodeLeafReport(r),
+	}
+	for _, dest := range a.leaderContacts {
+		if dest == self {
+			a.onLeafReport(msg)
+			return
+		}
+		if err := a.stackNode().Send(dest, msg.Clone()); err == nil {
+			return
+		}
+	}
+}
+
+// onLeafDelivery demultiplexes intra-leaf multicasts.
+func (a *Agent) onLeafDelivery(d group.Delivery) {
+	tag, _, payload, ok := decodeLeafCast(d.Payload)
+	if !ok {
+		return
+	}
+	switch tag {
+	case tagCCRequest, tagCCResult:
+		// Cohort copy kept for resiliency: a cohort that takes over after a
+		// coordinator failure re-executes from these.
+		a.statCohortCopies++
+	case tagBroadcast:
+		a.statBroadcasts++
+		if a.cfg.OnBroadcast != nil {
+			a.cfg.OnBroadcast(payload)
+		}
+	case tagAppCast:
+		if a.cfg.OnLeafDeliver != nil {
+			a.cfg.OnLeafDeliver(d.From, payload)
+		}
+	}
+}
+
+// onLeaderDelivery applies tree replication casts within the leader group.
+func (a *Agent) onLeaderDelivery(d group.Delivery) {
+	if a.leader == nil {
+		return
+	}
+	if a.leader.CurrentView().Coordinator() == a.stackNode().PID() {
+		return // the coordinator's copy is authoritative
+	}
+	if t, err := DecodeTree(d.Payload); err == nil {
+		a.tree = t
+	}
+}
+
+// replicateTree pushes the coordinator's tree to the other leader members.
+func (a *Agent) replicateTree() {
+	if a.leader == nil || a.closed || a.tree == nil {
+		return
+	}
+	if a.leader.Size() <= 1 {
+		return
+	}
+	a.leader.CastAsync(types.Total, a.tree.Encode())
+}
+
+// --- leader duties ---------------------------------------------------------------
+
+// leaderCoordinator reports whether this process currently coordinates the
+// leader group.
+func (a *Agent) leaderCoordinator() bool {
+	return a.leader != nil && !a.leader.Closed() &&
+		a.leader.CurrentView().Coordinator() == a.stackNode().PID()
+}
+
+// forwardToLeader relays a message towards the leader coordinator. Returns
+// false if no forwarding destination is known.
+func (a *Agent) forwardToLeader(m *types.Message) bool {
+	self := a.stackNode().PID()
+	var dest types.ProcessID
+	if a.leader != nil && !a.leader.Closed() {
+		dest = a.leader.CurrentView().Coordinator()
+	} else if len(a.leaderContacts) > 0 {
+		dest = a.leaderContacts[0]
+	}
+	if dest.IsNil() || dest == self {
+		return false
+	}
+	fwd := m.Clone()
+	if fwd.ReplyTo.IsNil() {
+		fwd.ReplyTo = m.From
+	}
+	return a.stackNode().Send(dest, fwd) == nil
+}
+
+// onJoinRequest handles a placement request for a joining process.
+func (a *Agent) onJoinRequest(m *types.Message) {
+	if !a.leaderCoordinator() {
+		if !a.forwardToLeader(m) {
+			_ = a.stackNode().Reply(m, nil, types.ErrNoSuchGroup.Error())
+		}
+		return
+	}
+	joiner := m.ReplyTo
+	if joiner.IsNil() {
+		joiner = m.From
+	}
+	pl := placement{LeaderGroup: types.LeaderGroup(a.name), LeaderContacts: []types.ProcessID{a.stackNode().PID()}}
+
+	target, ok := a.tree.Place()
+	if !ok || target.Size >= a.cfg.MaxLeafSize {
+		info := a.tree.AddLeaf(joiner)
+		pl.Create = true
+		pl.Leaf = info.ID
+	} else {
+		pl.Leaf = target.ID
+		pl.Contacts = target.Contacts
+		a.tree.Update(target.ID, target.Size+1, target.Contacts)
+	}
+	if a.leader != nil {
+		lv := a.leader.CurrentView()
+		if lv.Size() < a.cfg.LeaderSize && !lv.Contains(joiner) {
+			pl.AlsoLeader = true
+		}
+	}
+	_ = a.stackNode().Reply(m, encodePlacement(pl), "")
+	a.replicateTree()
+}
+
+// onLeafReport handles a leaf coordinator's membership report.
+func (a *Agent) onLeafReport(m *types.Message) {
+	if !a.leaderCoordinator() {
+		a.forwardToLeader(m)
+		return
+	}
+	r, ok := decodeLeafReport(m.Payload)
+	if !ok {
+		return
+	}
+	size := len(r.Members)
+	if size == 0 {
+		a.tree.RemoveLeaf(r.Leaf)
+		a.replicateTree()
+		return
+	}
+	contacts := r.Members
+	if len(contacts) > a.cfg.Resiliency {
+		contacts = contacts[:a.cfg.Resiliency]
+	}
+	a.tree.Update(r.Leaf, size, contacts)
+
+	switch {
+	case size > a.cfg.MaxLeafSize:
+		a.splitLeaf(r)
+	case size < a.cfg.MinLeafSize && a.tree.LeafCount() > 1:
+		a.mergeLeaf(r)
+	}
+	a.replicateTree()
+}
+
+// splitLeaf moves the youngest members of an oversized leaf into a freshly
+// created leaf.
+func (a *Agent) splitLeaf(r leafReport) {
+	target := (a.cfg.MaxLeafSize + a.cfg.MinLeafSize) / 2
+	if target < a.cfg.MinLeafSize {
+		target = a.cfg.MinLeafSize
+	}
+	moverCount := len(r.Members) - target
+	if moverCount <= 0 {
+		return
+	}
+	movers := r.Members[len(r.Members)-moverCount:]
+	info := a.tree.AddLeaf(movers[0])
+	for i, p := range movers {
+		d := directive{Leaf: info.ID}
+		if i == 0 {
+			d.Create = true
+		} else {
+			d.Contacts = []types.ProcessID{movers[0]}
+		}
+		a.sendDirective(p, d)
+	}
+	// The old leaf's recorded size shrinks accordingly; the next report will
+	// confirm.
+	remaining := len(r.Members) - moverCount
+	contacts := r.Members[:minInt(remaining, a.cfg.Resiliency)]
+	a.tree.Update(r.Leaf, remaining, contacts)
+}
+
+// mergeLeaf folds an undersized leaf into a sibling, but only when the
+// combined leaf stays within the fanout bound. Without the capacity guard a
+// freshly founded leaf (size 1, still filling up) would be merged straight
+// back into the full leaf it was created to relieve, and the leader would
+// oscillate between creating, merging and splitting the same members.
+func (a *Agent) mergeLeaf(r leafReport) {
+	var target LeafInfo
+	found := false
+	for _, sib := range a.tree.Siblings(r.Leaf) {
+		if len(sib.Contacts) == 0 {
+			continue
+		}
+		if sib.Size+len(r.Members) <= a.cfg.MaxLeafSize {
+			target = sib
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	for _, p := range r.Members {
+		a.sendDirective(p, directive{Leaf: target.ID, Contacts: target.Contacts})
+	}
+	a.tree.RemoveLeaf(r.Leaf)
+}
+
+func (a *Agent) sendDirective(to types.ProcessID, d directive) {
+	if to == a.stackNode().PID() {
+		a.onRedirect(&types.Message{
+			Kind:    types.KindHJoinRedirect,
+			Group:   types.BranchGroup(a.name),
+			Payload: encodeDirective(d),
+		})
+		return
+	}
+	_ = a.stackNode().Send(to, &types.Message{
+		Kind:    types.KindHJoinRedirect,
+		Group:   types.BranchGroup(a.name),
+		Payload: encodeDirective(d),
+	})
+}
+
+// onLeafFailed records the total failure of a leaf subgroup: the leader
+// removes it from the tree so routing and placement stop using it.
+func (a *Agent) onLeafFailed(m *types.Message) {
+	if !a.leaderCoordinator() {
+		a.forwardToLeader(m)
+		return
+	}
+	id, _, ok := decodeGroupID(m.Payload)
+	if !ok {
+		return
+	}
+	a.tree.RemoveLeaf(id)
+	a.replicateTree()
+	if m.Corr != 0 {
+		_ = a.stackNode().Reply(m, nil, "")
+	}
+}
+
+// onRedirect relocates this process to another leaf, as instructed by the
+// leader during a split or merge.
+func (a *Agent) onRedirect(m *types.Message) {
+	if a.closed || a.moving {
+		return
+	}
+	d, ok := decodeDirective(m.Payload)
+	if !ok {
+		return
+	}
+	if d.Leaf.Equal(a.leafID) {
+		return
+	}
+	a.moving = true
+	oldLeaf := a.leaf
+	go a.relocate(oldLeaf, d)
+}
+
+// relocate runs on its own goroutine: it leaves the current leaf and joins
+// (or founds) the directed one, then swaps the agent's leaf reference.
+func (a *Agent) relocate(oldLeaf *group.Group, d directive) {
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.OpTimeout)
+	defer cancel()
+
+	if oldLeaf != nil && !oldLeaf.Closed() {
+		_ = oldLeaf.Leave(ctx)
+	}
+	var newLeaf *group.Group
+	var err error
+	if d.Create {
+		newLeaf, err = a.host.stack.Create(d.Leaf, a.leafGroupConfig(d.Leaf))
+	} else {
+		newLeaf, err = a.joinLeaf(ctx, d.Leaf, d.Contacts)
+	}
+	if err != nil {
+		// Fall back to asking the leader for a fresh placement so the
+		// process does not end up outside every leaf.
+		contacts := a.LeaderContacts()
+		if len(contacts) > 0 {
+			if pl, perr := a.requestPlacement(ctx, contacts[0]); perr == nil {
+				if pl.Create {
+					newLeaf, err = a.host.stack.Create(pl.Leaf, a.leafGroupConfig(pl.Leaf))
+				} else {
+					newLeaf, err = a.joinLeaf(ctx, pl.Leaf, pl.Contacts)
+				}
+				if err == nil {
+					d.Leaf = pl.Leaf
+				}
+			}
+		}
+	}
+	_ = a.stackNode().Call(func() {
+		a.moving = false
+		if err == nil && newLeaf != nil {
+			a.leaf = newLeaf
+			a.leafID = d.Leaf
+		}
+	})
+	if err == nil && newLeaf != nil {
+		a.mu.Lock()
+		a.snapLeaf = newLeaf
+		a.mu.Unlock()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,485 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+const testTimeout = 10 * time.Second
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// service spins up a large group of n member processes (process 0 founds it)
+// on the given cluster and returns the hosts and agents.
+func buildService(t *testing.T, c *cluster.Cluster, n int, cfgFor func(i int) core.Config) ([]*core.Host, []*core.Agent) {
+	t.Helper()
+	hosts := make([]*core.Host, n)
+	agents := make([]*core.Agent, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = core.NewHost(c.Proc(i).Stack)
+	}
+	var err error
+	agents[0], err = hosts[0].Create("svc", cfgFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		agents[i], err = hosts[i].Join(ctxT(t), "svc", c.Proc(0).ID, cfgFor(i))
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	return hosts, agents
+}
+
+func echoCfg(fanout, resiliency int) core.Config {
+	return core.Config{
+		Fanout:     fanout,
+		Resiliency: resiliency,
+		RequestHandler: func(p []byte) []byte {
+			return append([]byte("echo:"), p...)
+		},
+	}
+}
+
+func TestCreateLargeGroupFounder(t *testing.T) {
+	c := cluster.MustNew(1, cluster.Options{})
+	defer c.Stop()
+	h := core.NewHost(c.Proc(0).Stack)
+	a, err := h.Create("svc", echoCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsLeader() {
+		t.Error("founder is not a leader member")
+	}
+	if a.Leaf() == nil || a.Leaf().Size() != 1 {
+		t.Errorf("founder leaf = %v", a.Leaf())
+	}
+	tr := a.Tree()
+	if tr.LeafCount() != 1 || tr.TotalMembers() != 1 {
+		t.Errorf("tree = %+v", tr)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if h.Agent("svc") != a {
+		t.Error("Host.Agent lookup failed")
+	}
+	if _, err := h.Create("svc", echoCfg(4, 2)); err == nil {
+		t.Error("second Create for the same name succeeded")
+	}
+}
+
+func TestJoinFillsLeavesUpToFanout(t *testing.T) {
+	const n = 10
+	fanout := 4
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(fanout, 2) })
+
+	// The leader's tree must account for every member, keep every leaf at or
+	// below the fanout bound, and satisfy the structural invariants.
+	ok := cluster.WaitFor(testTimeout, func() bool {
+		return agents[0].Tree().TotalMembers() == n
+	})
+	tr := agents[0].Tree()
+	if !ok {
+		t.Fatalf("tree accounts for %d of %d members: %+v", tr.TotalMembers(), n, tr.Leaves)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range tr.Leaves {
+		if l.Size > fanout {
+			t.Errorf("leaf %v has %d members, fanout %d", l.ID, l.Size, fanout)
+		}
+	}
+	if tr.LeafCount() < n/fanout {
+		t.Errorf("only %d leaves for %d members", tr.LeafCount(), n)
+	}
+	// Every member is in exactly one leaf, and no member's own view exceeds
+	// the fanout bound (the storage claim).
+	for i, a := range agents {
+		leafView := a.Leaf().CurrentView()
+		if leafView.Size() > fanout {
+			t.Errorf("member %d sees a leaf of %d members", i, leafView.Size())
+		}
+		if !leafView.Contains(c.Proc(i).ID) {
+			t.Errorf("member %d not in its own leaf view", i)
+		}
+	}
+}
+
+func TestMembersViewStorageBoundedWhileServiceGrows(t *testing.T) {
+	const n = 24
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 2) })
+
+	maxStorage := 0
+	for _, a := range agents[1:] { // skip the founder (leader member)
+		if a.IsLeader() {
+			continue
+		}
+		if s := a.Leaf().CurrentView().StorageSize(); s > maxStorage {
+			maxStorage = s
+		}
+	}
+	// A flat group of 24 members would need ~24 addresses in every process;
+	// hierarchical members must store only their leaf (≤ fanout entries).
+	flatEquivalent := agents[0].Leaf().CurrentView().StorageSize() * n / agents[0].Leaf().Size()
+	if maxStorage*3 > flatEquivalent {
+		t.Errorf("member view storage %dB is not clearly below flat equivalent %dB", maxStorage, flatEquivalent)
+	}
+}
+
+func TestClientRequestRoutedToSingleLeaf(t *testing.T) {
+	const n = 12
+	c := cluster.MustNew(n+1, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 2) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+
+	clientProc := c.Proc(n)
+	client := core.NewClient(clientProc.Node, "svc", c.Proc(0).ID)
+	reply, err := client.Request(ctxT(t), []byte("quote IBM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:quote IBM" {
+		t.Errorf("reply = %q", reply)
+	}
+	if client.CachedServer().IsNil() {
+		t.Error("client did not cache the serving leaf coordinator")
+	}
+
+	// Steady state: messages for one request must involve only the client
+	// and one leaf subgroup, not the whole service.
+	c.Fabric.ResetStats()
+	if _, err := client.Request(ctxT(t), []byte("quote DEC")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let cohort replication finish
+	stats := c.Fabric.Stats()
+	disturbed := c.Fabric.DistinctReceivers()
+	maxLeaf := 0
+	for _, l := range agents[0].Tree().Leaves {
+		if l.Size > maxLeaf {
+			maxLeaf = l.Size
+		}
+	}
+	if disturbed > maxLeaf+2 {
+		t.Errorf("request disturbed %d processes; leaf size is only %d", disturbed, maxLeaf)
+	}
+	if stats.MessagesSent > uint64(3*maxLeaf+6) {
+		t.Errorf("request cost %d messages; expected ~2*leaf (%d)", stats.MessagesSent, maxLeaf)
+	}
+}
+
+func TestRequestsSpreadAcrossLeaves(t *testing.T) {
+	const n = 12
+	c := cluster.MustNew(n+3, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 2) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	// Three clients, each issuing several requests; at least two distinct
+	// leaf coordinators must end up serving (load spreading across leaves).
+	servers := make(map[types.ProcessID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for ci := 0; ci < 3; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			client := core.NewClient(c.Proc(n+ci).Node, "svc", c.Proc(0).ID)
+			for r := 0; r < 3; r++ {
+				if _, err := client.Request(ctxT(t), []byte(fmt.Sprintf("c%d-r%d", ci, r))); err != nil {
+					t.Errorf("client %d request %d: %v", ci, r, err)
+					return
+				}
+			}
+			mu.Lock()
+			servers[client.CachedServer()] = true
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	if len(servers) < 2 {
+		t.Errorf("all clients served by the same leaf coordinator: %v", servers)
+	}
+}
+
+func TestBroadcastReachesEveryMember(t *testing.T) {
+	const n = 14
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	var delivered atomic.Int64
+	_, agents := buildService(t, c, n, func(i int) core.Config {
+		cfg := echoCfg(4, 2)
+		cfg.OnBroadcast = func(p []byte) {
+			if string(p) == "market-open" {
+				delivered.Add(1)
+			}
+		}
+		return cfg
+	})
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatalf("tree never converged: %+v", agents[0].Tree().Leaves)
+	}
+
+	covered, err := agents[0].Broadcast(ctxT(t), []byte("market-open"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != n {
+		t.Errorf("broadcast covered %d of %d members", covered, n)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return delivered.Load() == int64(n) }) {
+		t.Fatalf("broadcast delivered to %d of %d members", delivered.Load(), n)
+	}
+	// The whole-group broadcast must respect the fanout bound: no process
+	// sends to more than ~2*fanout distinct destinations for this traffic.
+	// (The founder also replicates the tree to the leader group, so allow
+	// that slack.)
+}
+
+func TestBroadcastFromClient(t *testing.T) {
+	const n = 9
+	c := cluster.MustNew(n+1, cluster.Options{})
+	defer c.Stop()
+	var delivered atomic.Int64
+	_, agents := buildService(t, c, n, func(int) core.Config {
+		cfg := echoCfg(3, 2)
+		cfg.OnBroadcast = func([]byte) { delivered.Add(1) }
+		return cfg
+	})
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	client := core.NewClient(c.Proc(n).Node, "svc", c.Proc(0).ID)
+	covered, err := client.Broadcast(ctxT(t), []byte("halt-trading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != n {
+		t.Errorf("covered = %d, want %d", covered, n)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return delivered.Load() == int64(n) }) {
+		t.Fatalf("delivered to %d of %d", delivered.Load(), n)
+	}
+}
+
+func TestLeafCastStaysInsideLeaf(t *testing.T) {
+	const n = 8
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	var mu sync.Mutex
+	got := map[int]int{}
+	_, agents := buildService(t, c, n, func(i int) core.Config {
+		cfg := echoCfg(4, 2)
+		cfg.OnLeafDeliver = func(_ types.ProcessID, p []byte) {
+			mu.Lock()
+			got[i]++
+			mu.Unlock()
+		}
+		return cfg
+	})
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	sender := agents[n-1]
+	if err := sender.LeafCast(ctxT(t), []byte("cell-status")); err != nil {
+		t.Fatal(err)
+	}
+	leafSize := sender.Leaf().Size()
+	if !cluster.WaitFor(testTimeout, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, v := range got {
+			total += v
+		}
+		return total >= leafSize
+	}) {
+		t.Fatal("leaf cast not delivered within the leaf")
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != leafSize {
+		t.Errorf("leaf cast delivered to %d processes, leaf has %d members", total, leafSize)
+	}
+}
+
+func TestSingleFailureDisturbsOnlyOneLeaf(t *testing.T) {
+	const n = 16
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 3) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+
+	// Pick a non-leader victim and find its leaf peers.
+	victim := n - 1
+	victimLeaf := agents[victim].Leaf().CurrentView()
+	peers := victimLeaf.Size() - 1
+
+	c.Fabric.ResetStats()
+	c.Crash(victim)
+	c.InjectFailure(victim)
+
+	// The victim's leaf peers must install a shrunk view.
+	ok := cluster.WaitFor(testTimeout, func() bool {
+		for i := 0; i < n-1; i++ {
+			if agents[i].Leaf().ID().Equal(victimLeaf.Group) && agents[i].Leaf().CurrentView().Contains(c.Proc(victim).ID) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("victim never removed from its leaf")
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Membership traffic must have reached only the victim's leaf peers plus
+	// the leader group — a bounded set, not the whole service.
+	disturbed := c.Fabric.DistinctReceivers()
+	bound := peers + 4 /* leader members + report forwarding slack */
+	if disturbed > bound {
+		t.Errorf("failure disturbed %d processes, want <= %d (leaf peers %d)", disturbed, bound, peers)
+	}
+	// Members of other leaves must not have installed any new leaf view.
+	for i := 0; i < n-1; i++ {
+		if !agents[i].Leaf().ID().Equal(victimLeaf.Group) {
+			if agents[i].Leaf().CurrentView().Contains(c.Proc(victim).ID) {
+				t.Errorf("member %d (different leaf) somehow saw the victim", i)
+			}
+		}
+	}
+}
+
+func TestLeaderTreeUpdatedAfterFailure(t *testing.T) {
+	const n = 8
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 2) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	victim := n - 1
+	c.Crash(victim)
+	c.InjectFailure(victim)
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n-1 }) {
+		t.Fatalf("leader tree still counts %d members", agents[0].Tree().TotalMembers())
+	}
+	if err := agents[0].Tree().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgentLeaveShrinksTree(t *testing.T) {
+	const n = 6
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(3, 2) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	if err := agents[n-1].Leave(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n-1 }) {
+		t.Fatalf("tree still counts %d members after leave", agents[0].Tree().TotalMembers())
+	}
+}
+
+func TestRequestAfterLeafCoordinatorFailure(t *testing.T) {
+	const n = 8
+	c := cluster.MustNew(n+1, cluster.Options{})
+	defer c.Stop()
+	_, agents := buildService(t, c, n, func(int) core.Config { return echoCfg(4, 3) })
+	if !cluster.WaitFor(testTimeout, func() bool { return agents[0].Tree().TotalMembers() == n }) {
+		t.Fatal("tree never converged")
+	}
+	client := core.NewClient(c.Proc(n).Node, "svc", c.Proc(0).ID)
+	if _, err := client.Request(ctxT(t), []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	served := client.CachedServer()
+	// Crash the leaf coordinator that served the request (unless it is the
+	// founder, which would also take the leader group's only seed away in
+	// this small test).
+	victim := -1
+	for i := 1; i < n; i++ {
+		if c.Proc(i).ID == served {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("request was served by the founder; coordinator-failure path exercised elsewhere")
+	}
+	c.Crash(victim)
+	c.InjectFailure(victim)
+	// Allow the leaf to elect a new coordinator and the leader to hear the
+	// report, then the client (whose cache now points at a dead process)
+	// must still get an answer via its entry point.
+	time.Sleep(200 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := client.Request(ctx, []byte("r2"))
+	if err != nil {
+		t.Fatalf("request after coordinator failure: %v", err)
+	}
+	if string(reply) != "echo:r2" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestHostJoinUnknownServiceFails(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	_ = core.NewHost(c.Proc(0).Stack)
+	h1 := core.NewHost(c.Proc(1).Stack)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := h1.Join(ctx, "ghost", c.Proc(0).ID, echoCfg(4, 2)); err == nil {
+		t.Error("joining a non-existent service succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := cluster.MustNew(1, cluster.Options{})
+	defer c.Stop()
+	h := core.NewHost(c.Proc(0).Stack)
+	if _, err := h.Create("bad", core.Config{Fanout: 2, Resiliency: 5}); err == nil {
+		t.Error("resiliency > fanout accepted")
+	}
+	if _, err := h.Create("bad2", core.Config{MinLeafSize: 9, MaxLeafSize: 3}); err == nil {
+		t.Error("min > max leaf size accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/types"
+)
+
+// Client lets a process that is not a member of a large group send requests
+// to it and initiate whole-group broadcasts. This is the role the trading
+// analyst workstations and factory work cells play against the services in
+// the paper's motivating applications.
+//
+// The large group's name is used purely for addressing, as the paper
+// prescribes: the client resolves the name to an entry process once (and
+// caches the leaf coordinator that answers it), so the steady-state cost of
+// a request involves only the client and one leaf subgroup.
+type Client struct {
+	node  *node.Node
+	name  string
+	entry types.ProcessID
+
+	mu     sync.Mutex
+	cached types.ProcessID // leaf coordinator that served the last request
+}
+
+// NewClient creates a client of the named large group. entry is any process
+// participating in the group (typically obtained from the name service).
+func NewClient(n *node.Node, name string, entry types.ProcessID) *Client {
+	return &Client{node: n, name: name, entry: entry}
+}
+
+// SetEntry changes the entry process (after a name-service refresh).
+func (c *Client) SetEntry(entry types.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entry = entry
+	c.cached = types.NilProcess
+}
+
+// Request sends a request to the service and returns the reply produced by
+// the leaf coordinator that handled it.
+func (c *Client) Request(ctx context.Context, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	target := c.cached
+	entry := c.entry
+	c.mu.Unlock()
+
+	tryOne := func(dest types.ProcessID) ([]byte, types.ProcessID, error) {
+		reply, err := c.node.Request(ctx, dest, &types.Message{
+			Kind:    types.KindHRoute,
+			Group:   types.BranchGroup(c.name),
+			Hop:     0,
+			Payload: payload,
+		})
+		if err != nil {
+			return nil, types.NilProcess, err
+		}
+		return reply.Payload, reply.From, nil
+	}
+
+	if !target.IsNil() {
+		if out, from, err := tryOne(target); err == nil {
+			c.remember(from)
+			return out, nil
+		}
+		// The cached leaf coordinator is gone or no longer serving: fall
+		// back to the entry point.
+		c.mu.Lock()
+		c.cached = types.NilProcess
+		c.mu.Unlock()
+	}
+	out, from, err := tryOne(entry)
+	if err != nil {
+		return nil, fmt.Errorf("request to %q: %w", c.name, err)
+	}
+	c.remember(from)
+	return out, nil
+}
+
+func (c *Client) remember(leafCoord types.ProcessID) {
+	if leafCoord.IsNil() {
+		return
+	}
+	c.mu.Lock()
+	c.cached = leafCoord
+	c.mu.Unlock()
+}
+
+// CachedServer returns the leaf coordinator the client is currently bound
+// to, if any.
+func (c *Client) CachedServer() types.ProcessID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cached
+}
+
+// Broadcast asks the service to deliver payload to every member via the
+// tree-structured broadcast and returns the number of members covered.
+func (c *Client) Broadcast(ctx context.Context, payload []byte) (int, error) {
+	c.mu.Lock()
+	entry := c.entry
+	c.mu.Unlock()
+	reply, err := c.node.Request(ctx, entry, &types.Message{
+		Kind:    types.KindTreeCast,
+		Group:   types.BranchGroup(c.name),
+		Hop:     0,
+		Payload: payload,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("broadcast to %q: %w", c.name, err)
+	}
+	covered, _, _ := types.DecodeUint64(reply.Payload)
+	return int(covered), nil
+}

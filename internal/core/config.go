@@ -1,0 +1,318 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Config parameterises one large group, following the paper's three
+// quantities: size is whatever the group grows to, fanout bounds how many
+// destinations any process communicates with directly, and resiliency is the
+// number of members that must hold critical state / acknowledge an
+// operation.
+type Config struct {
+	// Fanout bounds direct communication (leaf size target and branch
+	// arity). Default 8.
+	Fanout int
+	// Resiliency is the number of replicas/acknowledgements required for an
+	// operation to be considered safe. Default 3.
+	Resiliency int
+	// MinLeafSize is the size below which a leaf is merged into a sibling.
+	// Default max(Resiliency, 2).
+	MinLeafSize int
+	// MaxLeafSize is the size above which a leaf is split. Default Fanout.
+	MaxLeafSize int
+	// LeaderSize is the target size of the resilient leader group.
+	// Default Resiliency.
+	LeaderSize int
+
+	// Ordering is the delivery order used for intra-leaf multicasts issued
+	// by the hierarchy (requests to cohorts, result replication, broadcast
+	// delivery). Default FIFO, matching the coordinator-cohort tool.
+	Ordering types.Ordering
+
+	// RequestHandler is the service logic run by a leaf coordinator for each
+	// routed request. Required on member processes of a service that accepts
+	// requests; it runs on the actor goroutine and must not block.
+	RequestHandler func(payload []byte) []byte
+
+	// OnBroadcast is invoked on every member for each whole-group
+	// (tree-structured) broadcast delivered to its leaf. Runs on the actor
+	// goroutine.
+	OnBroadcast func(payload []byte)
+
+	// OnLeafDeliver is invoked for application-level leaf multicasts
+	// (Agent.LeafCast). Runs on the actor goroutine.
+	OnLeafDeliver func(from types.ProcessID, payload []byte)
+
+	// OpTimeout bounds internal blocking operations (relocations, tree
+	// broadcast acknowledgement waits). Default 5s.
+	OpTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 1 {
+		c.Fanout = 8
+	}
+	if c.Resiliency <= 0 {
+		c.Resiliency = 3
+	}
+	if c.Resiliency > c.Fanout {
+		c.Resiliency = c.Fanout
+	}
+	if c.MinLeafSize <= 0 {
+		c.MinLeafSize = c.Resiliency
+		if c.MinLeafSize < 2 {
+			c.MinLeafSize = 2
+		}
+	}
+	if c.MaxLeafSize <= 0 {
+		c.MaxLeafSize = c.Fanout
+	}
+	if c.MaxLeafSize < c.MinLeafSize {
+		c.MaxLeafSize = c.MinLeafSize
+	}
+	if c.LeaderSize <= 0 {
+		c.LeaderSize = c.Resiliency
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Validate reports configuration errors a caller should fix rather than
+// have silently adjusted.
+func (c Config) Validate() error {
+	if c.Fanout != 0 && c.Resiliency > c.Fanout {
+		return types.ErrBadConfig
+	}
+	if c.MinLeafSize != 0 && c.MaxLeafSize != 0 && c.MinLeafSize > c.MaxLeafSize {
+		return types.ErrBadConfig
+	}
+	return nil
+}
+
+// --- leaf-cast envelope --------------------------------------------------------
+//
+// The hierarchy multiplexes several uses onto ordinary leaf-group
+// multicasts. A one-byte tag plus a correlation id distinguishes them.
+
+type leafCastTag byte
+
+const (
+	tagCCRequest leafCastTag = 1 + iota // coordinator-cohort request replica
+	tagCCResult                         // coordinator-cohort result replica
+	tagBroadcast                        // whole-group tree broadcast payload
+	tagAppCast                          // application-level leaf multicast
+)
+
+func encodeLeafCast(tag leafCastTag, corr uint64, payload []byte) []byte {
+	b := []byte{byte(tag)}
+	b = types.EncodeUint64(b, corr)
+	return append(b, payload...)
+}
+
+func decodeLeafCast(b []byte) (tag leafCastTag, corr uint64, payload []byte, ok bool) {
+	if len(b) < 1 {
+		return 0, 0, nil, false
+	}
+	tag = leafCastTag(b[0])
+	corr, rest, ok := types.DecodeUint64(b[1:])
+	if !ok {
+		return 0, 0, nil, false
+	}
+	return tag, corr, rest, true
+}
+
+// --- placement reply encoding ---------------------------------------------------
+
+// placement is the leader's answer to a join request.
+type placement struct {
+	Create         bool // true: found a new leaf; false: join an existing one
+	Leaf           types.GroupID
+	Contacts       []types.ProcessID
+	AlsoLeader     bool
+	LeaderGroup    types.GroupID
+	LeaderContacts []types.ProcessID
+}
+
+func encodePlacement(p placement) []byte {
+	b := []byte{0}
+	if p.Create {
+		b[0] = 1
+	}
+	b = encodeGroupID(b, p.Leaf)
+	b = encodePIDs(b, p.Contacts)
+	if p.AlsoLeader {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = encodeGroupID(b, p.LeaderGroup)
+	b = encodePIDs(b, p.LeaderContacts)
+	return b
+}
+
+func decodePlacement(b []byte) (placement, bool) {
+	var p placement
+	if len(b) < 1 {
+		return p, false
+	}
+	p.Create = b[0] == 1
+	b = b[1:]
+	var ok bool
+	p.Leaf, b, ok = decodeGroupID(b)
+	if !ok {
+		return p, false
+	}
+	p.Contacts, b, ok = decodePIDs(b)
+	if !ok {
+		return p, false
+	}
+	if len(b) < 1 {
+		return p, false
+	}
+	p.AlsoLeader = b[0] == 1
+	b = b[1:]
+	p.LeaderGroup, b, ok = decodeGroupID(b)
+	if !ok {
+		return p, false
+	}
+	p.LeaderContacts, _, ok = decodePIDs(b)
+	return p, ok
+}
+
+// --- leaf report encoding -------------------------------------------------------
+
+// leafReport is sent by a leaf coordinator to the leader group whenever the
+// leaf's view changes. Members is bounded by the leaf size, so the message
+// stays small regardless of how large the whole service grows.
+type leafReport struct {
+	Leaf    types.GroupID
+	Members []types.ProcessID
+}
+
+func encodeLeafReport(r leafReport) []byte {
+	b := encodeGroupID(nil, r.Leaf)
+	return encodePIDs(b, r.Members)
+}
+
+func decodeLeafReport(b []byte) (leafReport, bool) {
+	var r leafReport
+	var ok bool
+	r.Leaf, b, ok = decodeGroupID(b)
+	if !ok {
+		return r, false
+	}
+	r.Members, _, ok = decodePIDs(b)
+	return r, ok
+}
+
+// --- relocation directive -------------------------------------------------------
+
+// directive tells one process to move to (or found) another leaf; used by
+// the leader to split oversized leaves and merge undersized ones.
+type directive struct {
+	Create   bool
+	Leaf     types.GroupID
+	Contacts []types.ProcessID
+}
+
+func encodeDirective(d directive) []byte {
+	b := []byte{0}
+	if d.Create {
+		b[0] = 1
+	}
+	b = encodeGroupID(b, d.Leaf)
+	return encodePIDs(b, d.Contacts)
+}
+
+func decodeDirective(b []byte) (directive, bool) {
+	var d directive
+	if len(b) < 1 {
+		return d, false
+	}
+	d.Create = b[0] == 1
+	b = b[1:]
+	var ok bool
+	d.Leaf, b, ok = decodeGroupID(b)
+	if !ok {
+		return d, false
+	}
+	d.Contacts, _, ok = decodePIDs(b)
+	return d, ok
+}
+
+// --- shared low-level codecs ----------------------------------------------------
+
+func encodeGroupID(b []byte, g types.GroupID) []byte {
+	b = types.EncodeString(b, g.Name)
+	b = types.EncodeUint64(b, uint64(g.Kind))
+	b = types.EncodeUint64(b, uint64(len(g.Path)))
+	for _, p := range g.Path {
+		b = types.EncodeUint64(b, uint64(p))
+	}
+	return b
+}
+
+func decodeGroupID(b []byte) (types.GroupID, []byte, bool) {
+	name, b, ok := types.DecodeString(b)
+	if !ok {
+		return types.GroupID{}, b, false
+	}
+	kind, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return types.GroupID{}, b, false
+	}
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return types.GroupID{}, b, false
+	}
+	path := make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p uint64
+		p, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return types.GroupID{}, b, false
+		}
+		path = append(path, uint32(p))
+	}
+	return types.GroupID{Name: name, Kind: types.GroupKind(kind), Path: path}, b, true
+}
+
+func encodePIDs(b []byte, ps []types.ProcessID) []byte {
+	b = types.EncodeUint64(b, uint64(len(ps)))
+	for _, p := range ps {
+		b = types.EncodeUint64(b, uint64(p.Site))
+		b = types.EncodeUint64(b, uint64(p.Incarnation))
+		b = types.EncodeUint64(b, uint64(p.Index))
+	}
+	return b
+}
+
+func decodePIDs(b []byte) ([]types.ProcessID, []byte, bool) {
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return nil, b, false
+	}
+	out := make([]types.ProcessID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var site, inc, idx uint64
+		site, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		inc, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		idx, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		out = append(out, types.ProcessID{Site: types.SiteID(site), Incarnation: uint32(inc), Index: uint32(idx)})
+	}
+	return out, b, true
+}

@@ -1,0 +1,36 @@
+// Package core implements hierarchical process groups — the paper's central
+// contribution for scaling ISIS beyond small groups.
+//
+// A large group with parameters size > fanout >= resiliency is organised as
+// a tree of subgroups:
+//
+//   - Leaf subgroups are ordinary small virtually synchronous groups
+//     (internal/group) holding between resiliency and ~fanout member
+//     processes. All day-to-day traffic (requests, replies, internal
+//     multicasts, membership changes caused by single-process failures)
+//     stays inside one leaf.
+//   - Branch subgroups list their child subgroups, never individual
+//     processes, so no process ever stores the full membership of the large
+//     group.
+//   - A small resilient leader group manages the branch structure: it
+//     places joining processes into leaves, splits leaves that have grown
+//     too large, merges leaves that have shrunk too small, records total
+//     leaf failures, and answers routing queries. Its replicated state is
+//     the subgroup tree, not the member list.
+//
+// The package exposes three roles:
+//
+//   - Host: per-process dispatcher; create or join large groups through it.
+//   - Agent: one process's membership of one large group (its leaf group
+//     plus, for the first few members, the leader group).
+//   - Client: a non-member process that sends requests to the service and
+//     initiates whole-group broadcasts.
+//
+// Deviation from the paper, documented in DESIGN.md: the paper assigns one
+// leader group to every branch subgroup. Here a single resilient leader
+// group manages the whole branch-view tree; the tree still records a
+// fanout-bounded branch structure (used for storage accounting and for the
+// tree-structured broadcast), and all data-path message flows respect the
+// same bounds, but branch management is centralised in one leader group
+// rather than one per interior node.
+package core

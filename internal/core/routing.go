@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/treecast"
+	"repro/internal/types"
+)
+
+// This file implements the two data paths of a large group:
+//
+//   - request routing: a client's request is directed to a *single* leaf
+//     subgroup, where the leaf coordinator executes it coordinator-cohort
+//     style (request and result replicated to the leaf's cohorts only), so
+//     the cost of a request is bounded by the leaf size no matter how large
+//     the whole service grows;
+//   - whole-group broadcast: when every member really must be reached, the
+//     broadcast is forwarded along the fanout-bounded tree of leaf
+//     subgroups (internal/treecast) instead of one sender contacting every
+//     member directly.
+
+// --- request routing ------------------------------------------------------------
+
+// onRoute handles a KindHRoute message. Hop 0 means the message just entered
+// the hierarchy (from a client or a member acting as entry point); hop 1
+// means it has already been assigned to this process's leaf.
+func (a *Agent) onRoute(m *types.Message) {
+	if a.closed {
+		_ = a.stackNode().Reply(m, nil, types.ErrNoSuchGroup.Error())
+		return
+	}
+	if m.Hop == 0 && a.leaderCoordinator() {
+		// Entry point with the full picture: pick a leaf and forward.
+		a.reqCounter++
+		target, ok := a.tree.PickForRequest(a.reqCounter)
+		if !ok {
+			_ = a.stackNode().Reply(m, nil, types.ErrNoSuchGroup.Error())
+			return
+		}
+		if target.Coordinator() == a.stackNode().PID() {
+			a.serveRequest(m)
+			return
+		}
+		fwd := m.Clone()
+		fwd.Hop = 1
+		fwd.Path = append([]uint32(nil), target.ID.Path...)
+		if fwd.ReplyTo.IsNil() {
+			fwd.ReplyTo = m.From
+		}
+		if err := a.stackNode().Send(target.Coordinator(), fwd); err != nil {
+			_ = a.stackNode().Reply(m, nil, err.Error())
+		}
+		return
+	}
+	if m.Hop == 0 && a.leader != nil {
+		// A leader member that is not the coordinator: pass it on.
+		if !a.forwardToLeader(m) {
+			a.serveRequest(m)
+		}
+		return
+	}
+	// Either this request was explicitly routed to our leaf (hop 1) or a
+	// client contacted a cached leaf member directly (hop 0 at a non-leader).
+	a.serveRequest(m)
+}
+
+// serveRequest executes one request coordinator-cohort style inside the
+// local leaf. If this process is no longer the leaf coordinator it forwards
+// to the current one.
+func (a *Agent) serveRequest(m *types.Message) {
+	if a.leaf == nil || a.leaf.Closed() {
+		_ = a.stackNode().Reply(m, nil, types.ErrNoSuchGroup.Error())
+		return
+	}
+	self := a.stackNode().PID()
+	lv := a.leaf.CurrentView()
+	if lv.Coordinator() != self {
+		fwd := m.Clone()
+		fwd.Hop = 1
+		if fwd.ReplyTo.IsNil() {
+			fwd.ReplyTo = m.From
+		}
+		if err := a.stackNode().Send(lv.Coordinator(), fwd); err != nil {
+			_ = a.stackNode().Reply(m, nil, err.Error())
+		}
+		return
+	}
+	if a.cfg.RequestHandler == nil {
+		_ = a.stackNode().Reply(m, nil, "service has no request handler")
+		return
+	}
+	// Replicate the request to the cohorts, execute, answer the client, then
+	// replicate the result — the coordinator-cohort pattern, confined to one
+	// leaf subgroup.
+	a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagCCRequest, m.Corr, m.Payload))
+	result := a.cfg.RequestHandler(m.Payload)
+	a.statRequestsHandled++
+	_ = a.stackNode().Reply(m, result, "")
+	a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagCCResult, m.Corr, result))
+}
+
+// --- whole-group broadcast --------------------------------------------------------
+
+// Broadcast delivers payload to every member of the large group using the
+// tree-structured broadcast, and blocks until the forwarding tree has
+// acknowledged (or ctx expires). It returns the number of members covered by
+// acknowledged leaves.
+func (a *Agent) Broadcast(ctx context.Context, payload []byte) (int, error) {
+	reply, err := a.stackNode().Request(ctx, a.stackNode().PID(), &types.Message{
+		Kind:    types.KindTreeCast,
+		Group:   types.BranchGroup(a.name),
+		Hop:     0,
+		Payload: payload,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("broadcast to %q: %w", a.name, err)
+	}
+	covered, _, _ := types.DecodeUint64(reply.Payload)
+	return int(covered), nil
+}
+
+// LeafCast multicasts an application payload within this process's own leaf
+// subgroup only.
+func (a *Agent) LeafCast(ctx context.Context, payload []byte) error {
+	leaf := a.Leaf()
+	if leaf == nil {
+		return fmt.Errorf("leaf cast in %q: %w", a.name, types.ErrNotMember)
+	}
+	return leaf.Cast(ctx, a.cfg.Ordering, encodeLeafCast(tagAppCast, 0, payload))
+}
+
+// onTreeCast handles both the initiation of a tree broadcast (hop 0,
+// handled by the leader coordinator which knows the subgroup tree) and a
+// forwarding stage (hop >= 1, handled by a leaf representative).
+func (a *Agent) onTreeCast(m *types.Message) {
+	if a.closed {
+		return
+	}
+	if m.Hop == 0 {
+		if !a.leaderCoordinator() {
+			if !a.forwardToLeader(m) {
+				_ = a.stackNode().Reply(m, nil, types.ErrNoSuchGroup.Error())
+			}
+			return
+		}
+		a.initiateTreeCast(m)
+		return
+	}
+	a.forwardTreeCast(m)
+}
+
+func (a *Agent) initiateTreeCast(m *types.Message) {
+	leaves := make([]treecast.LeafDescriptor, 0, a.tree.LeafCount())
+	for _, l := range a.tree.Leaves {
+		leaves = append(leaves, treecast.LeafDescriptor{ID: l.ID, Contacts: l.Contacts, Size: l.Size})
+	}
+	plan, err := treecast.Plan(leaves, a.cfg.Fanout)
+	if err != nil {
+		_ = a.stackNode().Reply(m, nil, err.Error())
+		return
+	}
+	self := a.stackNode().PID()
+	if types.ContainsProcess(plan.Contacts, self) {
+		// The initiator is itself the root stage's representative (the usual
+		// case: the founder coordinates both the leader group and leaf 0), so
+		// it runs the root stage directly and answers the requester when the
+		// whole tree has acknowledged.
+		a.handleStage(plan, m.Payload, 0, m.Clone(), types.NilProcess)
+		return
+	}
+	// Otherwise hand the root stage to its representative and wait for its
+	// single acknowledgement.
+	corr := a.stackNode().NextCorr()
+	agg := treecast.NewAggregator(corr, types.NilProcess, []*treecast.Stage{plan})
+	agg.LocalDone(0) // the initiator's own leaf is covered by the plan itself
+	st := &aggState{agg: agg, origin: m.Clone()}
+	a.pendingAggs[corr] = st
+
+	stage := &types.Message{
+		Kind:    types.KindTreeCast,
+		Group:   types.BranchGroup(a.name),
+		Hop:     1,
+		Corr:    corr,
+		Payload: append(types.EncodeString(nil, string(treecast.Encode(plan))), m.Payload...),
+	}
+	if err := a.sendStage(plan, stage); err != nil {
+		delete(a.pendingAggs, corr)
+		_ = a.stackNode().Reply(m, nil, err.Error())
+		return
+	}
+	a.armTreeCastTimeout(corr)
+}
+
+func (a *Agent) forwardTreeCast(m *types.Message) {
+	planStr, payload, ok := types.DecodeString(m.Payload)
+	if !ok {
+		return
+	}
+	plan, err := treecast.Decode([]byte(planStr))
+	if err != nil || plan == nil {
+		return
+	}
+	a.handleStage(plan, payload, m.Corr, nil, m.From)
+}
+
+// handleStage runs one forwarding stage of a tree broadcast: deliver inside
+// the local leaf, forward to child stages, and acknowledge upward (to the
+// parent forwarder, or to the original requester when origin is set) once
+// everything below has acknowledged.
+func (a *Agent) handleStage(plan *treecast.Stage, payload []byte, upCorr uint64, origin *types.Message, parent types.ProcessID) {
+	// Downstream stages are re-correlated with a locally unique id so
+	// concurrent broadcasts from different initiators cannot collide in the
+	// pending table.
+	downCorr := a.stackNode().NextCorr()
+	agg := treecast.NewAggregator(upCorr, parent, plan.Children)
+	st := &aggState{agg: agg, origin: origin, parent: parent, leafID: plan.Leaf}
+
+	// Deliver within our own leaf. If this process has moved away from the
+	// leaf named in the plan, it still delivers to the leaf it is in now; the
+	// leader's next plan will have caught up with the move.
+	covered := 0
+	if a.leaf != nil && !a.leaf.Closed() {
+		a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagBroadcast, downCorr, payload))
+		covered = a.leaf.Size()
+	}
+	done := agg.LocalDone(covered)
+
+	for _, child := range plan.Children {
+		msg := &types.Message{
+			Kind:    types.KindTreeCast,
+			Group:   types.BranchGroup(a.name),
+			Hop:     1,
+			Corr:    downCorr,
+			Payload: append(types.EncodeString(nil, string(treecast.Encode(child))), payload...),
+		}
+		if err := a.sendStage(child, msg); err != nil {
+			done = agg.ChildFailed(child.Leaf)
+		}
+	}
+	if done {
+		a.ackTreeCast(st)
+		return
+	}
+	a.pendingAggs[downCorr] = st
+	a.armTreeCastTimeout(downCorr)
+}
+
+// sendStage delivers a stage message to the first reachable contact of the
+// stage's leaf.
+func (a *Agent) sendStage(stage *treecast.Stage, msg *types.Message) error {
+	var lastErr error = types.ErrNoSuchProcess
+	for _, c := range stage.Contacts {
+		if c == a.stackNode().PID() {
+			continue
+		}
+		if err := a.stackNode().Send(c, msg.Clone()); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("tree cast stage %s: %w", stage.Leaf, lastErr)
+}
+
+func (a *Agent) onTreeCastAck(m *types.Message) {
+	st, ok := a.pendingAggs[m.Corr]
+	if !ok {
+		return
+	}
+	leaf := types.LeafGroup(a.name, m.Path...)
+	if st.agg.ChildDone(leaf, int(m.Seq)) {
+		delete(a.pendingAggs, m.Corr)
+		a.ackTreeCast(st)
+	}
+}
+
+// ackTreeCast completes one stage: the initiator answers the original
+// requester, a forwarder acknowledges to its parent.
+func (a *Agent) ackTreeCast(st *aggState) {
+	if st.origin != nil {
+		_ = a.stackNode().Reply(st.origin, types.EncodeUint64(nil, uint64(st.agg.Covered())), "")
+		return
+	}
+	_ = a.stackNode().Send(st.parent, &types.Message{
+		Kind:  types.KindTreeCastAck,
+		Group: types.BranchGroup(a.name),
+		Corr:  st.agg.Corr,
+		Path:  append([]uint32(nil), st.leafID.Path...),
+		Seq:   uint64(st.agg.Covered()),
+	})
+}
+
+// armTreeCastTimeout makes sure a broadcast stage eventually acknowledges
+// upward even if part of its subtree never answers.
+func (a *Agent) armTreeCastTimeout(corr uint64) {
+	a.stackNode().After(a.cfg.OpTimeout, func() {
+		st, ok := a.pendingAggs[corr]
+		if !ok {
+			return
+		}
+		delete(a.pendingAggs, corr)
+		a.ackTreeCast(st)
+	})
+}

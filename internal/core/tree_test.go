@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func p(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+func TestTreeAddPlaceRemove(t *testing.T) {
+	tr := NewTree("svc", 4)
+	if _, ok := tr.Place(); ok {
+		t.Error("Place on empty tree reported a leaf")
+	}
+	l0 := tr.AddLeaf(p(1))
+	if l0.Size != 1 || l0.Coordinator() != p(1) {
+		t.Errorf("AddLeaf = %+v", l0)
+	}
+	l1 := tr.AddLeaf(p(2))
+	if l0.ID.Equal(l1.ID) {
+		t.Error("two leaves share an id")
+	}
+	if tr.LeafCount() != 2 || tr.TotalMembers() != 2 {
+		t.Errorf("count=%d total=%d", tr.LeafCount(), tr.TotalMembers())
+	}
+	// Grow leaf 0; placement must now prefer leaf 1 (smaller).
+	tr.Update(l0.ID, 5, []types.ProcessID{p(1), p(3)})
+	placed, ok := tr.Place()
+	if !ok || !placed.ID.Equal(l1.ID) {
+		t.Errorf("Place = %+v, want %v", placed, l1.ID)
+	}
+	if !tr.RemoveLeaf(l1.ID) {
+		t.Error("RemoveLeaf failed")
+	}
+	if tr.RemoveLeaf(l1.ID) {
+		t.Error("RemoveLeaf succeeded twice")
+	}
+	if tr.LeafCount() != 1 {
+		t.Errorf("LeafCount = %d", tr.LeafCount())
+	}
+	if _, ok := tr.Lookup(l1.ID); ok {
+		t.Error("Lookup found a removed leaf")
+	}
+	if got, ok := tr.Lookup(l0.ID); !ok || got.Size != 5 {
+		t.Errorf("Lookup = %+v, %v", got, ok)
+	}
+}
+
+func TestTreeUpdateUnknownLeafAdds(t *testing.T) {
+	tr := NewTree("svc", 4)
+	id := types.LeafGroup("svc", 7)
+	tr.Update(id, 3, []types.ProcessID{p(9)})
+	if tr.LeafCount() != 1 || tr.TotalMembers() != 3 {
+		t.Errorf("count=%d total=%d", tr.LeafCount(), tr.TotalMembers())
+	}
+	// The next AddLeaf must not collide with ordinal 7.
+	l := tr.AddLeaf(p(1))
+	if l.ID.Equal(id) {
+		t.Error("AddLeaf reused an observed ordinal")
+	}
+}
+
+func TestTreePickForRequestRoundRobins(t *testing.T) {
+	tr := NewTree("svc", 4)
+	a := tr.AddLeaf(p(1))
+	b := tr.AddLeaf(p(2))
+	c := tr.AddLeaf(p(3))
+	seen := map[string]int{}
+	for k := uint64(0); k < 9; k++ {
+		l, ok := tr.PickForRequest(k)
+		if !ok {
+			t.Fatal("PickForRequest failed")
+		}
+		seen[l.ID.Key()]++
+	}
+	for _, id := range []types.GroupID{a.ID, b.ID, c.ID} {
+		if seen[id.Key()] != 3 {
+			t.Errorf("leaf %v picked %d times, want 3", id, seen[id.Key()])
+		}
+	}
+	// Leaves without contacts must never be picked.
+	tr.Update(a.ID, 2, nil)
+	for k := uint64(0); k < 10; k++ {
+		l, _ := tr.PickForRequest(k)
+		if l.ID.Equal(a.ID) {
+			t.Error("picked a leaf with no contacts")
+		}
+	}
+}
+
+func TestTreeSiblingsSortedBySize(t *testing.T) {
+	tr := NewTree("svc", 4)
+	a := tr.AddLeaf(p(1))
+	b := tr.AddLeaf(p(2))
+	c := tr.AddLeaf(p(3))
+	tr.Update(a.ID, 9, []types.ProcessID{p(1)})
+	tr.Update(b.ID, 2, []types.ProcessID{p(2)})
+	tr.Update(c.ID, 5, []types.ProcessID{p(3)})
+	sib := tr.Siblings(a.ID)
+	if len(sib) != 2 || !sib[0].ID.Equal(b.ID) || !sib[1].ID.Equal(c.ID) {
+		t.Errorf("Siblings = %+v", sib)
+	}
+}
+
+func TestBranchViewsFanoutBound(t *testing.T) {
+	for _, tc := range []struct {
+		leaves, fanout int
+		wantDepth      int
+	}{
+		{1, 4, 0},
+		{4, 4, 0},
+		{5, 4, 1},
+		{16, 4, 1},
+		{17, 4, 2},
+		{64, 4, 2},
+		{65, 4, 3},
+		{100, 8, 2},
+	} {
+		tr := NewTree("svc", tc.fanout)
+		for i := 0; i < tc.leaves; i++ {
+			tr.AddLeaf(p(uint32(i + 1)))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Errorf("%d leaves fanout %d: %v", tc.leaves, tc.fanout, err)
+		}
+		if got := tr.Depth(); got != tc.wantDepth {
+			t.Errorf("%d leaves fanout %d: Depth = %d, want %d", tc.leaves, tc.fanout, got, tc.wantDepth)
+		}
+		views := tr.BranchViews()
+		for _, bv := range views {
+			if len(bv.Children) > tc.fanout {
+				t.Errorf("branch %v has %d children > fanout %d", bv.ID, len(bv.Children), tc.fanout)
+			}
+			if bv.StorageSize() <= 0 {
+				t.Error("branch view storage size not positive")
+			}
+		}
+	}
+}
+
+func TestBranchViewStorageBoundedWhileGroupGrows(t *testing.T) {
+	// The paper's storage claim: no single stored view grows with the total
+	// group size. Check that the largest branch view storage stays bounded
+	// as leaves are added.
+	tr := NewTree("svc", 8)
+	maxAt := func() int {
+		max := 0
+		for _, bv := range tr.BranchViews() {
+			if s := bv.StorageSize(); s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	tr.AddLeaf(p(1))
+	small := maxAt()
+	for i := 2; i <= 200; i++ {
+		tr.AddLeaf(p(uint32(i)))
+	}
+	big := maxAt()
+	if big > small*12 {
+		t.Errorf("largest branch view grew from %d to %d bytes for 200x more leaves", small, big)
+	}
+}
+
+func TestTreeCheckInvariantsCatchesCorruption(t *testing.T) {
+	tr := NewTree("svc", 4)
+	l := tr.AddLeaf(p(1))
+	tr.Leaves = append(tr.Leaves, LeafInfo{ID: l.ID, Size: 1})
+	if err := tr.CheckInvariants(); err == nil {
+		t.Error("duplicate leaf not detected")
+	}
+	tr2 := NewTree("svc", 4)
+	lf := tr2.AddLeaf(p(1))
+	tr2.Update(lf.ID, -1, nil)
+	if err := tr2.CheckInvariants(); err == nil {
+		t.Error("negative size not detected")
+	}
+}
+
+func TestTreeCloneIndependent(t *testing.T) {
+	tr := NewTree("svc", 4)
+	l := tr.AddLeaf(p(1))
+	c := tr.Clone()
+	c.Update(l.ID, 99, []types.ProcessID{p(9)})
+	if got, _ := tr.Lookup(l.ID); got.Size == 99 {
+		t.Error("Clone shares leaf storage with the original")
+	}
+}
+
+func TestTreeEncodeDecodeRoundTrip(t *testing.T) {
+	tr := NewTree("quotes", 8)
+	for i := 0; i < 10; i++ {
+		l := tr.AddLeaf(p(uint32(i + 1)))
+		tr.Update(l.ID, i+1, []types.ProcessID{p(uint32(i + 1)), p(uint32(100 + i))})
+	}
+	got, err := DecodeTree(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Fanout != tr.Fanout || got.LeafCount() != tr.LeafCount() || got.TotalMembers() != tr.TotalMembers() {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i, l := range tr.Leaves {
+		g := got.Leaves[i]
+		if !g.ID.Equal(l.ID) || g.Size != l.Size || len(g.Contacts) != len(l.Contacts) {
+			t.Errorf("leaf %d mismatch: %+v vs %+v", i, g, l)
+		}
+	}
+	// A new leaf added to the decoded tree must not collide with existing ids.
+	nl := got.AddLeaf(p(200))
+	for _, l := range got.Leaves[:got.LeafCount()-1] {
+		if l.ID.Equal(nl.ID) {
+			t.Error("decoded tree reused a leaf ordinal")
+		}
+	}
+	if _, err := DecodeTree([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeTree accepted garbage")
+	}
+}
+
+func TestTreeRandomChurnInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		fanout := 2 + rng.Intn(7)
+		tr := NewTree("svc", fanout)
+		var ids []types.GroupID
+		for op := 0; op < 200; op++ {
+			switch {
+			case len(ids) == 0 || rng.Float64() < 0.5:
+				l := tr.AddLeaf(p(uint32(rng.Intn(1000))))
+				ids = append(ids, l.ID)
+			case rng.Float64() < 0.6:
+				i := rng.Intn(len(ids))
+				tr.Update(ids[i], rng.Intn(20), []types.ProcessID{p(uint32(rng.Intn(1000)))})
+			default:
+				i := rng.Intn(len(ids))
+				tr.RemoveLeaf(ids[i])
+				ids = append(ids[:i], ids[i+1:]...)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+	}
+}

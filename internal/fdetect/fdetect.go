@@ -1,0 +1,182 @@
+// Package fdetect implements the failure detector ISIS relies on to drive
+// group membership changes.
+//
+// Each process runs one Detector. The detector periodically sends
+// heartbeats to the peers it has been asked to monitor and declares a peer
+// suspected when nothing has been heard from it for the configured timeout.
+// Suspicions are reported to a callback; the membership layer turns them
+// into view changes.
+//
+// Experiments that count protocol messages disable the heartbeat traffic
+// (Interval = 0) and inject failures directly with Suspect, so the
+// accounting reflects the membership protocol rather than background pings.
+package fdetect
+
+import (
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/types"
+)
+
+// Config controls the detector's timing.
+type Config struct {
+	// Interval is the heartbeat period. Zero disables heartbeat traffic;
+	// failures can still be injected with Suspect.
+	Interval time.Duration
+	// Timeout is how long a monitored peer may stay silent before it is
+	// suspected. Zero defaults to 4 * Interval.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns timing suitable for interactive demos: 50ms
+// heartbeats, 200ms suspicion timeout.
+func DefaultConfig() Config {
+	return Config{Interval: 50 * time.Millisecond, Timeout: 200 * time.Millisecond}
+}
+
+// Detector monitors a set of peers on behalf of one process. All methods
+// must be called on the owning node's actor goroutine (the usual pattern is
+// to call them from handlers or node.Do closures); the OnSuspect callback is
+// invoked on that goroutine too.
+type Detector struct {
+	node      *node.Node
+	cfg       Config
+	onSuspect func(types.ProcessID)
+
+	monitored map[types.ProcessID]time.Time // last time we heard from the peer
+	suspected map[types.ProcessID]bool
+	cancel    func()
+}
+
+// New creates a detector for the given node. onSuspect is called exactly
+// once per peer when it first becomes suspected (until Forget or Monitor
+// resets it).
+func New(n *node.Node, cfg Config, onSuspect func(types.ProcessID)) *Detector {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 4 * cfg.Interval
+	}
+	d := &Detector{
+		node:      n,
+		cfg:       cfg,
+		onSuspect: onSuspect,
+		monitored: make(map[types.ProcessID]time.Time),
+		suspected: make(map[types.ProcessID]bool),
+	}
+	n.Handle(types.KindHeartbeat, d.onHeartbeat)
+	if cfg.Interval > 0 {
+		d.cancel = n.Every(cfg.Interval, d.tick)
+	}
+	return d
+}
+
+// Stop cancels the heartbeat ticker.
+func (d *Detector) Stop() {
+	if d.cancel != nil {
+		d.cancel()
+	}
+}
+
+// Monitor starts (or restarts) monitoring a peer. Monitoring one's own
+// process id is ignored.
+func (d *Detector) Monitor(p types.ProcessID) {
+	if p == d.node.PID() {
+		return
+	}
+	d.monitored[p] = time.Now()
+	delete(d.suspected, p)
+}
+
+// Forget stops monitoring a peer.
+func (d *Detector) Forget(p types.ProcessID) {
+	delete(d.monitored, p)
+	delete(d.suspected, p)
+}
+
+// MonitorSet replaces the monitored set with exactly the given peers,
+// keeping existing last-heard times for peers already monitored. The
+// membership layer calls it on every view change.
+func (d *Detector) MonitorSet(peers []types.ProcessID) {
+	keep := make(map[types.ProcessID]bool, len(peers))
+	for _, p := range peers {
+		if p == d.node.PID() {
+			continue
+		}
+		keep[p] = true
+		if _, ok := d.monitored[p]; !ok {
+			d.Monitor(p)
+		}
+	}
+	for p := range d.monitored {
+		if !keep[p] {
+			d.Forget(p)
+		}
+	}
+}
+
+// Monitored returns the peers currently monitored.
+func (d *Detector) Monitored() []types.ProcessID {
+	out := make([]types.ProcessID, 0, len(d.monitored))
+	for p := range d.monitored {
+		out = append(out, p)
+	}
+	return types.SortProcesses(out)
+}
+
+// Suspected reports whether p is currently suspected.
+func (d *Detector) Suspected(p types.ProcessID) bool { return d.suspected[p] }
+
+// Suspect marks a peer as failed immediately (fault injection and
+// out-of-band failure notifications, for example from the fabric or an
+// operator). It triggers the OnSuspect callback like a timeout would.
+func (d *Detector) Suspect(p types.ProcessID) {
+	if _, ok := d.monitored[p]; !ok {
+		// Accept injections for unmonitored peers too: the membership layer
+		// may learn about failures from processes outside the group.
+		d.monitored[p] = time.Time{}
+	}
+	d.declare(p)
+}
+
+// Alive records a sign of life from p (any message counts, not only
+// heartbeats). The group layer calls it from its message handlers so busy
+// groups do not need heartbeat traffic to stay convinced of each other's
+// health.
+func (d *Detector) Alive(p types.ProcessID) {
+	if _, ok := d.monitored[p]; ok {
+		d.monitored[p] = time.Now()
+	}
+}
+
+func (d *Detector) onHeartbeat(m *types.Message) {
+	d.Alive(m.From)
+}
+
+// tick runs on the heartbeat interval: send heartbeats and check timeouts.
+func (d *Detector) tick() {
+	now := time.Now()
+	for p, last := range d.monitored {
+		if d.suspected[p] {
+			continue
+		}
+		if err := d.node.Send(p, &types.Message{Kind: types.KindHeartbeat}); err != nil {
+			// The transport already knows the peer is gone (crashed or
+			// unknown): treat it as a strong failure hint.
+			d.declare(p)
+			continue
+		}
+		if now.Sub(last) > d.cfg.Timeout {
+			d.declare(p)
+		}
+	}
+}
+
+func (d *Detector) declare(p types.ProcessID) {
+	if d.suspected[p] {
+		return
+	}
+	d.suspected[p] = true
+	if d.onSuspect != nil {
+		d.onSuspect(p)
+	}
+}

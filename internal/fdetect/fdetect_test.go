@@ -1,0 +1,222 @@
+package fdetect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	node "repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+type harness struct {
+	fabric *netsim.Fabric
+	nodes  map[uint32]*node.Node
+}
+
+func newHarness(t *testing.T, sites ...uint32) *harness {
+	t.Helper()
+	h := &harness{fabric: netsim.New(netsim.DefaultConfig()), nodes: make(map[uint32]*node.Node)}
+	net := transport.NewMemory(h.fabric)
+	for _, s := range sites {
+		n, err := node.New(pid(s), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nodes[s] = n
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range h.nodes {
+			n.Stop()
+		}
+	})
+	return h
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestHealthyPeerNotSuspected(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	cfg := Config{Interval: 10 * time.Millisecond, Timeout: 60 * time.Millisecond}
+	suspectedA := make(chan types.ProcessID, 4)
+	var dA, dB *Detector
+	_ = h.nodes[1].Call(func() {
+		dA = New(h.nodes[1], cfg, func(p types.ProcessID) { suspectedA <- p })
+		dA.Monitor(pid(2))
+	})
+	_ = h.nodes[2].Call(func() {
+		dB = New(h.nodes[2], cfg, nil)
+		dB.Monitor(pid(1))
+	})
+	// Both sides heartbeat each other; after several timeout periods nothing
+	// should be suspected.
+	time.Sleep(250 * time.Millisecond)
+	select {
+	case p := <-suspectedA:
+		t.Errorf("healthy peer %v suspected", p)
+	default:
+	}
+}
+
+func TestCrashedPeerSuspected(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	cfg := Config{Interval: 10 * time.Millisecond, Timeout: 50 * time.Millisecond}
+	suspected := make(chan types.ProcessID, 4)
+	_ = h.nodes[1].Call(func() {
+		d := New(h.nodes[1], cfg, func(p types.ProcessID) { suspected <- p })
+		d.Monitor(pid(2))
+	})
+	// Crash p2 at the fabric: sends to it now fail, so detection is fast.
+	h.fabric.Crash(pid(2))
+	select {
+	case p := <-suspected:
+		if p != pid(2) {
+			t.Errorf("suspected %v, want p2", p)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("crashed peer never suspected")
+	}
+}
+
+func TestSilentPeerSuspectedByTimeout(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	// p2 runs no detector (never sends heartbeats); p1 must suspect it by
+	// timeout even though the fabric still accepts messages for it.
+	cfg := Config{Interval: 10 * time.Millisecond, Timeout: 40 * time.Millisecond}
+	suspected := make(chan types.ProcessID, 1)
+	_ = h.nodes[1].Call(func() {
+		d := New(h.nodes[1], cfg, func(p types.ProcessID) { suspected <- p })
+		d.Monitor(pid(2))
+	})
+	select {
+	case p := <-suspected:
+		if p != pid(2) {
+			t.Errorf("suspected %v", p)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("silent peer never suspected")
+	}
+}
+
+func TestSuspectInjection(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	var d *Detector
+	var fired []types.ProcessID
+	_ = h.nodes[1].Call(func() {
+		d = New(h.nodes[1], Config{}, func(p types.ProcessID) { fired = append(fired, p) })
+		d.Monitor(pid(2))
+	})
+	_ = h.nodes[1].Call(func() {
+		d.Suspect(pid(2))
+		d.Suspect(pid(2)) // second injection must not fire the callback again
+		if !d.Suspected(pid(2)) {
+			t.Error("Suspected(p2) = false after injection")
+		}
+	})
+	_ = h.nodes[1].Call(func() {
+		if len(fired) != 1 {
+			t.Errorf("callback fired %d times, want 1", len(fired))
+		}
+	})
+}
+
+func TestSuspectUnmonitoredPeer(t *testing.T) {
+	h := newHarness(t, 1)
+	var fired int
+	_ = h.nodes[1].Call(func() {
+		d := New(h.nodes[1], Config{}, func(types.ProcessID) { fired++ })
+		d.Suspect(pid(9))
+		if fired != 1 {
+			t.Errorf("fired = %d", fired)
+		}
+	})
+}
+
+func TestMonitorSetAddsAndRemoves(t *testing.T) {
+	h := newHarness(t, 1)
+	_ = h.nodes[1].Call(func() {
+		d := New(h.nodes[1], Config{}, nil)
+		d.Monitor(pid(2))
+		d.Monitor(pid(3))
+		d.MonitorSet([]types.ProcessID{pid(1), pid(3), pid(4)}) // self must be ignored
+		got := d.Monitored()
+		want := []types.ProcessID{pid(3), pid(4)}
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("Monitored = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestMonitorSelfIgnored(t *testing.T) {
+	h := newHarness(t, 1)
+	_ = h.nodes[1].Call(func() {
+		d := New(h.nodes[1], Config{}, nil)
+		d.Monitor(pid(1))
+		if len(d.Monitored()) != 0 {
+			t.Error("detector monitors itself")
+		}
+	})
+}
+
+func TestAliveResetsSuspicionWindow(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	cfg := Config{Interval: 20 * time.Millisecond, Timeout: 60 * time.Millisecond}
+	suspected := make(chan types.ProcessID, 1)
+	var d *Detector
+	_ = h.nodes[1].Call(func() {
+		d = New(h.nodes[1], cfg, func(p types.ProcessID) { suspected <- p })
+		d.Monitor(pid(2))
+	})
+	// Keep feeding Alive for a while (as the group layer would when data
+	// messages arrive) even though p2 sends no heartbeats.
+	for i := 0; i < 10; i++ {
+		_ = h.nodes[1].Call(func() { d.Alive(pid(2)) })
+		time.Sleep(15 * time.Millisecond)
+	}
+	select {
+	case <-suspected:
+		t.Error("peer suspected despite Alive signals")
+	default:
+	}
+	// Now stop feeding and expect suspicion.
+	waitFor(t, func() bool {
+		select {
+		case <-suspected:
+			return true
+		default:
+			return false
+		}
+	}, "suspicion after Alive signals stop")
+}
+
+func TestForgetStopsCallbacks(t *testing.T) {
+	h := newHarness(t, 1, 2)
+	cfg := Config{Interval: 10 * time.Millisecond, Timeout: 30 * time.Millisecond}
+	suspected := make(chan types.ProcessID, 1)
+	var d *Detector
+	_ = h.nodes[1].Call(func() {
+		d = New(h.nodes[1], cfg, func(p types.ProcessID) { suspected <- p })
+		d.Monitor(pid(2))
+		d.Forget(pid(2))
+	})
+	time.Sleep(150 * time.Millisecond)
+	select {
+	case p := <-suspected:
+		t.Errorf("forgotten peer %v still suspected", p)
+	default:
+	}
+}

@@ -1,0 +1,76 @@
+// Package group implements flat (small) virtually synchronous process
+// groups — the abstraction 1989 ISIS already provided and the baseline the
+// paper's hierarchical groups are measured against.
+//
+// Every member of a flat group stores the full membership list, every
+// multicast goes to every member, and every membership change is announced
+// to every member: exactly the costs the paper identifies as the obstacle to
+// scaling beyond ~50 workstations.
+//
+// A process participates in groups through a Stack bound to its node. All
+// protocol state is owned by the node's actor goroutine; the exported
+// blocking calls (Join, Cast, Leave) may be used from any other goroutine.
+package group
+
+import (
+	"time"
+
+	"repro/internal/member"
+	"repro/internal/types"
+)
+
+// Delivery is one application message handed to the OnDeliver callback.
+type Delivery struct {
+	Group    types.GroupID
+	View     types.ViewID
+	From     types.ProcessID
+	ID       types.MsgID
+	Ordering types.Ordering
+	Seq      uint64 // agreed sequence number for ABCAST deliveries
+	Payload  []byte
+}
+
+// Config controls one group membership of one process.
+type Config struct {
+	// Resiliency is the number of destination acknowledgements a Cast waits
+	// for before reporting success (the paper's "resiliency" parameter).
+	// Zero means 1. It is capped at the number of other members.
+	Resiliency int
+
+	// OnDeliver is invoked for every delivered multicast. It runs on the
+	// node's actor goroutine and must not block.
+	OnDeliver func(Delivery)
+
+	// OnView is invoked whenever a new view is installed. It runs on the
+	// node's actor goroutine and must not block.
+	OnView func(member.View)
+
+	// StateProvider, when set on existing members, supplies the application
+	// state snapshot transferred to joining members.
+	StateProvider func() []byte
+	// StateReceiver, when set on a joining member, receives the state
+	// snapshot captured by the coordinator at join time.
+	StateReceiver func([]byte)
+
+	// InstallGrace bounds how long a member waits for the flush delivery cut
+	// to be satisfied before installing a new view anyway. It protects
+	// against wedging forever when messages were lost. Zero selects 500ms.
+	InstallGrace time.Duration
+
+	// RetryInterval is how often blocking Join retries its request while the
+	// contact or coordinator is unresponsive. Zero selects 300ms.
+	RetryInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resiliency <= 0 {
+		c.Resiliency = 1
+	}
+	if c.InstallGrace <= 0 {
+		c.InstallGrace = 500 * time.Millisecond
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 300 * time.Millisecond
+	}
+	return c
+}

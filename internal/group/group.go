@@ -1,0 +1,745 @@
+package group
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/member"
+	"repro/internal/order"
+	"repro/internal/types"
+)
+
+// Group is one process's membership in one flat group. All unexported
+// methods and fields are owned by the node's actor goroutine; the exported
+// methods are safe from any other goroutine.
+type Group struct {
+	stack *Stack
+	id    types.GroupID
+	cfg   Config
+
+	view   member.View
+	joined bool
+	closed bool
+	wedged bool
+
+	// Sender-side state.
+	sendSeq uint64
+	acks    map[uint64]*ackWaiter
+
+	// Receiver-side state.
+	recvSeq map[types.ProcessID]uint64
+	fifo    *order.FIFO
+	causal  *order.Causal
+	total   *order.Total
+	seqr    *order.Sequencer
+
+	suspected map[types.ProcessID]bool
+
+	// Coordinator-side view-change state.
+	flush     *member.FlushTracker
+	pendJoin  []types.ProcessID
+	pendLeave []types.ProcessID
+	pendFail  []types.ProcessID
+
+	// Member-side view-change state.
+	pending      *pendingInstall
+	futureCasts  []*types.Message
+	afterInstall []func()
+
+	joinedC   chan struct{}
+	joinedSet bool
+	leftC     chan struct{}
+	leftSet   bool
+
+	snapMu     sync.Mutex
+	snap       member.View
+	closedSnap bool
+}
+
+type ackWaiter struct {
+	need int
+	got  int
+	done chan error
+}
+
+type pendingInstall struct {
+	view member.View
+	cut  map[types.ProcessID]uint64
+}
+
+func newGroup(s *Stack, gid types.GroupID, cfg Config) *Group {
+	return &Group{
+		stack:     s,
+		id:        gid,
+		cfg:       cfg,
+		acks:      make(map[uint64]*ackWaiter),
+		recvSeq:   make(map[types.ProcessID]uint64),
+		suspected: make(map[types.ProcessID]bool),
+		joinedC:   make(chan struct{}),
+		leftC:     make(chan struct{}),
+	}
+}
+
+// ID returns the group's identifier.
+func (g *Group) ID() types.GroupID { return g.id }
+
+// Stack returns the group stack this membership belongs to.
+func (g *Group) Stack() *Stack { return g.stack }
+
+// Self returns the process id of the local member.
+func (g *Group) Self() types.ProcessID { return g.stack.node.PID() }
+
+// CurrentView returns a snapshot of the most recently installed view. It is
+// safe to call from any goroutine, including delivery callbacks.
+func (g *Group) CurrentView() member.View {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return g.snap.Clone()
+}
+
+// Coordinator returns the coordinator of the current view snapshot.
+func (g *Group) Coordinator() types.ProcessID { return g.CurrentView().Coordinator() }
+
+// Size returns the member count of the current view snapshot.
+func (g *Group) Size() int { return g.CurrentView().Size() }
+
+// Closed reports whether this process has left (or been removed from) the
+// group.
+func (g *Group) Closed() bool {
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return g.closedSnap
+}
+
+// Left returns a channel closed once this process has left the group.
+func (g *Group) Left() <-chan struct{} { return g.leftC }
+
+// --- lifecycle ---------------------------------------------------------------
+
+// install applies a new view on the actor goroutine.
+func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
+	_ = cut // the cut was already honoured (or timed out) by the caller
+	self := g.stack.node.PID()
+
+	g.view = v
+	g.joined = true
+	g.wedged = false
+	g.pending = nil
+	g.sendSeq = 0
+	g.recvSeq = make(map[types.ProcessID]uint64)
+	g.fifo = order.NewFIFO()
+	g.causal = order.NewCausal(v.Members)
+	g.total = order.NewTotal()
+	if v.Coordinator() == self {
+		g.seqr = order.NewSequencer()
+	} else {
+		g.seqr = nil
+	}
+	for p := range g.suspected {
+		if !v.Contains(p) {
+			delete(g.suspected, p)
+		}
+	}
+
+	g.snapMu.Lock()
+	g.snap = v.Clone()
+	g.snapMu.Unlock()
+
+	if det := g.stack.det; det != nil {
+		// Monitor the other members of every group we belong to. Using the
+		// union across groups would be more precise; monitoring per install
+		// is enough because MonitorSet is called again on the next change.
+		det.MonitorSet(v.Members)
+	}
+
+	if !g.joinedSet {
+		g.joinedSet = true
+		close(g.joinedC)
+	}
+	if g.cfg.OnView != nil {
+		g.cfg.OnView(v.Clone())
+	}
+
+	// Replay casts that arrived for this view before the install did.
+	future := g.futureCasts
+	g.futureCasts = nil
+	for _, m := range future {
+		if m.View == g.view.ID {
+			g.onCast(m)
+		}
+	}
+
+	// Run deferred work (casts issued while wedged).
+	deferred := g.afterInstall
+	g.afterInstall = nil
+	for _, fn := range deferred {
+		fn()
+	}
+
+	// If more membership work is queued and we are the acting coordinator,
+	// keep going.
+	g.maybeStartViewChange()
+}
+
+// markLeft finalises removal of the local process from the group.
+func (g *Group) markLeft() {
+	g.closed = true
+	g.snapMu.Lock()
+	g.closedSnap = true
+	g.snapMu.Unlock()
+	if !g.leftSet {
+		g.leftSet = true
+		close(g.leftC)
+	}
+	// Fail any casts still waiting for acknowledgements.
+	for corr, w := range g.acks {
+		select {
+		case w.done <- fmt.Errorf("group %s: %w", g.id, types.ErrNotMember):
+		default:
+		}
+		delete(g.acks, corr)
+	}
+	g.stack.remove(g.id)
+}
+
+// --- membership: coordinator side --------------------------------------------
+
+// actingCoordinator returns the lowest-ranked member of the current view
+// that this process does not suspect. With no live members it returns the
+// local process id (so a lone survivor can still make progress).
+func (g *Group) actingCoordinator() types.ProcessID {
+	for _, m := range g.view.Members {
+		if !g.suspected[m] {
+			return m
+		}
+	}
+	return g.stack.node.PID()
+}
+
+func (g *Group) coordinatorAddJoin(m *types.Message) {
+	joiner := m.ReplyTo
+	if joiner.IsNil() {
+		joiner = m.From
+	}
+	if g.view.Contains(joiner) {
+		_ = g.stack.node.Reply(m, nil, "")
+		return
+	}
+	if !types.ContainsProcess(g.pendJoin, joiner) {
+		g.pendJoin = append(g.pendJoin, joiner)
+	}
+	_ = g.stack.node.Reply(m, nil, "")
+	g.maybeStartViewChange()
+}
+
+func (g *Group) coordinatorAddLeave(m *types.Message) {
+	leaver := m.ReplyTo
+	if leaver.IsNil() {
+		leaver = m.From
+	}
+	if !g.view.Contains(leaver) {
+		_ = g.stack.node.Reply(m, nil, "")
+		return
+	}
+	if !types.ContainsProcess(g.pendLeave, leaver) {
+		g.pendLeave = append(g.pendLeave, leaver)
+	}
+	_ = g.stack.node.Reply(m, nil, "")
+	g.maybeStartViewChange()
+}
+
+// reportFailure records a suspicion and, when this process is the acting
+// coordinator, schedules the membership change.
+func (g *Group) reportFailure(p types.ProcessID) {
+	if g.closed || p == g.stack.node.PID() {
+		return
+	}
+	g.suspected[p] = true
+	if !g.joined || !g.view.Contains(p) {
+		return
+	}
+	// If we are coordinating a flush and waiting on the failed process, stop
+	// waiting for it.
+	if g.flush != nil && g.flush.Drop(p) {
+		g.finishFlush()
+	}
+	if !types.ContainsProcess(g.pendFail, p) {
+		g.pendFail = append(g.pendFail, p)
+	}
+	g.maybeStartViewChange()
+}
+
+// maybeStartViewChange starts a flush if this process is the acting
+// coordinator, no change is already in progress, and membership work is
+// queued.
+func (g *Group) maybeStartViewChange() {
+	if g.closed || !g.joined || g.wedged || g.flush != nil {
+		return
+	}
+	if g.actingCoordinator() != g.stack.node.PID() {
+		return
+	}
+	if len(g.pendJoin) == 0 && len(g.pendLeave) == 0 && len(g.pendFail) == 0 {
+		return
+	}
+	g.startViewChange()
+}
+
+func (g *Group) startViewChange() {
+	self := g.stack.node.PID()
+
+	removed := make(map[types.ProcessID]bool)
+	for _, p := range g.pendLeave {
+		removed[p] = true
+	}
+	for _, p := range g.pendFail {
+		removed[p] = true
+	}
+	var added []types.ProcessID
+	for _, p := range g.pendJoin {
+		if !g.view.Contains(p) && !removed[p] {
+			added = append(added, p)
+		}
+	}
+	newMembers := make([]types.ProcessID, 0, g.view.Size()+len(added))
+	for _, p := range g.view.Members {
+		if !removed[p] {
+			newMembers = append(newMembers, p)
+		}
+	}
+	newMembers = append(newMembers, added...)
+	g.pendJoin, g.pendLeave, g.pendFail = nil, nil, nil
+
+	proposed := member.View{Group: g.id, ID: g.view.ID + 1, Members: newMembers}
+
+	// Survivors (old ∩ new) must flush; the coordinator acknowledges
+	// implicitly below.
+	var waitFor []types.ProcessID
+	for _, p := range g.view.Members {
+		if p != self && proposed.Contains(p) && !g.suspected[p] {
+			waitFor = append(waitFor, p)
+		}
+	}
+
+	corr := g.stack.node.NextCorr()
+	g.flush = member.NewFlushTracker(proposed, corr, waitFor)
+	g.wedged = true
+
+	payload := types.EncodeString(nil, string(proposed.Encode()))
+	template := &types.Message{
+		Kind:    types.KindViewPropose,
+		Group:   g.id,
+		View:    proposed.ID,
+		Corr:    corr,
+		Payload: payload,
+	}
+	g.stack.node.SendCopies(g.view.Members, template)
+
+	// The coordinator's own flush contribution.
+	if g.flush.Ack(self, g.copyRecvSeq()) {
+		g.finishFlush()
+	}
+}
+
+func (g *Group) finishFlush() {
+	if g.flush == nil {
+		return
+	}
+	proposed := g.flush.Proposed
+	cut := g.flush.Cut()
+	g.flush = nil
+
+	viewBytes := types.EncodeString(nil, string(proposed.Encode()))
+	payload := append(viewBytes, member.EncodeCut(cut)...)
+
+	// Install goes to everyone who needs to learn the outcome: members of
+	// the new view plus members of the old view that were removed.
+	dests := types.CopyProcesses(proposed.Members)
+	for _, p := range g.view.Members {
+		if !proposed.Contains(p) && !types.ContainsProcess(dests, p) {
+			dests = append(dests, p)
+		}
+	}
+	template := &types.Message{
+		Kind:    types.KindViewInstall,
+		Group:   g.id,
+		View:    proposed.ID,
+		Payload: payload,
+	}
+	g.stack.node.SendCopies(dests, template)
+
+	// State transfer to joiners.
+	if g.cfg.StateProvider != nil {
+		state := g.cfg.StateProvider()
+		for _, p := range proposed.Members {
+			if !g.view.Contains(p) && p != g.stack.node.PID() {
+				_ = g.stack.node.Send(p, &types.Message{
+					Kind:    types.KindStateTransfer,
+					Group:   g.id,
+					View:    proposed.ID,
+					Payload: state,
+				})
+			}
+		}
+	}
+
+	// Apply locally.
+	self := g.stack.node.PID()
+	if proposed.Contains(self) {
+		g.install(proposed, cut)
+	} else {
+		g.markLeft()
+	}
+}
+
+// --- membership: member side --------------------------------------------------
+
+func (g *Group) onViewPropose(m *types.Message) {
+	if g.closed {
+		return
+	}
+	viewStr, _, ok := types.DecodeString(m.Payload)
+	if !ok {
+		return
+	}
+	if _, err := member.DecodeView([]byte(viewStr)); err != nil {
+		return
+	}
+	g.wedged = true
+	// Flush acknowledgement carries how much of each sender's traffic we
+	// have received in the current view.
+	_ = g.stack.node.Send(m.From, &types.Message{
+		Kind:    types.KindViewFlushAck,
+		Group:   g.id,
+		View:    m.View,
+		Corr:    m.Corr,
+		Payload: member.EncodeCut(g.copyRecvSeq()),
+	})
+}
+
+func (g *Group) onViewFlushAck(m *types.Message) {
+	if g.flush == nil || m.Corr != g.flush.Corr {
+		return
+	}
+	cut, _, ok := member.DecodeCut(m.Payload)
+	if !ok {
+		return
+	}
+	if g.flush.Ack(m.From, cut) {
+		g.finishFlush()
+	}
+}
+
+func (g *Group) onViewInstall(m *types.Message) {
+	if g.closed {
+		return
+	}
+	viewStr, rest, ok := types.DecodeString(m.Payload)
+	if !ok {
+		return
+	}
+	v, err := member.DecodeView([]byte(viewStr))
+	if err != nil {
+		return
+	}
+	cut, _, _ := member.DecodeCut(rest)
+
+	if g.joined && v.ID <= g.view.ID {
+		return // stale install
+	}
+	self := g.stack.node.PID()
+	if !v.Contains(self) {
+		// We have been removed (left, or wrongly suspected while partitioned).
+		g.markLeft()
+		return
+	}
+	if g.joined && !g.cutSatisfied(cut) {
+		// Hold the install until the delivery cut is reached, with a grace
+		// timeout so message loss cannot wedge the group forever.
+		g.pending = &pendingInstall{view: v, cut: cut}
+		vid := v.ID
+		g.stack.node.After(g.cfg.InstallGrace, func() {
+			if g.pending != nil && g.pending.view.ID == vid {
+				p := g.pending
+				g.pending = nil
+				g.install(p.view, p.cut)
+			}
+		})
+		return
+	}
+	g.install(v, cut)
+}
+
+func (g *Group) onStateTransfer(m *types.Message) {
+	if g.cfg.StateReceiver != nil {
+		g.cfg.StateReceiver(append([]byte(nil), m.Payload...))
+	}
+}
+
+func (g *Group) cutSatisfied(cut map[types.ProcessID]uint64) bool {
+	for sender, seq := range cut {
+		if sender == g.stack.node.PID() {
+			continue // we have trivially seen our own traffic
+		}
+		if g.suspected[sender] {
+			continue // cannot wait on a failed sender's missing traffic
+		}
+		if g.recvSeq[sender] < seq {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Group) copyRecvSeq() map[types.ProcessID]uint64 {
+	out := make(map[types.ProcessID]uint64, len(g.recvSeq)+1)
+	for k, v := range g.recvSeq {
+		out[k] = v
+	}
+	out[g.stack.node.PID()] = g.sendSeq
+	return out
+}
+
+// --- multicast ----------------------------------------------------------------
+
+// Cast multicasts payload to the group with the requested ordering and
+// blocks until the configured resiliency (number of destination
+// acknowledgements) is met, the context expires, or the group is closed.
+func (g *Group) Cast(ctx context.Context, o types.Ordering, payload []byte) error {
+	done := make(chan error, 1)
+	g.stack.node.Do(func() { g.castOnActor(o, payload, done) })
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("cast to %s: %w", g.id, types.ErrTimeout)
+	case <-g.stack.node.StopC():
+		return types.ErrStopped
+	}
+}
+
+// CastAsync multicasts without waiting for acknowledgements. Errors are
+// reported only for local conditions (not a member, closed).
+func (g *Group) CastAsync(o types.Ordering, payload []byte) {
+	g.stack.node.Do(func() {
+		done := make(chan error, 1)
+		g.castOnActor(o, payload, done)
+	})
+}
+
+func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
+	if g.closed {
+		done <- fmt.Errorf("cast to %s: %w", g.id, types.ErrNotMember)
+		return
+	}
+	if !g.joined {
+		done <- fmt.Errorf("cast to %s: %w", g.id, types.ErrNotMember)
+		return
+	}
+	if g.wedged {
+		// A view change is in progress: defer the cast into the next view.
+		g.afterInstall = append(g.afterInstall, func() { g.castOnActor(o, payload, done) })
+		return
+	}
+	self := g.stack.node.PID()
+	g.sendSeq++
+	corr := g.stack.node.NextCorr()
+	msg := &types.Message{
+		Kind:     types.KindCast,
+		From:     self,
+		Group:    g.id,
+		View:     g.view.ID,
+		ID:       types.MsgID{Sender: self, Seq: g.sendSeq},
+		Ordering: o,
+		Corr:     corr,
+		Payload:  payload,
+	}
+	switch o {
+	case types.Causal:
+		vt := g.causal.Clock()
+		rank := g.causal.Rank(self)
+		if rank >= 0 {
+			vt = vt.Tick(rank)
+		}
+		msg.VT = vt
+	case types.Total:
+		if g.seqr != nil {
+			msg.Seq = g.seqr.Assign()
+		}
+	}
+
+	need := g.cfg.Resiliency
+	if max := g.view.Size() - 1; need > max {
+		need = max
+	}
+	if need > 0 {
+		g.acks[corr] = &ackWaiter{need: need, done: done}
+	}
+
+	g.stack.node.SendCopies(g.view.Members, msg)
+	// Self-delivery through the same path as remote copies.
+	g.onCast(msg.Clone())
+
+	if need <= 0 {
+		done <- nil
+	}
+}
+
+func (g *Group) onCast(m *types.Message) {
+	if g.closed {
+		return
+	}
+	if !g.joined || m.View != g.view.ID {
+		if m.View > g.view.ID || !g.joined {
+			// A cast from a view we have not installed yet: keep it for
+			// replay right after the install.
+			g.futureCasts = append(g.futureCasts, m)
+		}
+		return
+	}
+	self := g.stack.node.PID()
+	if m.ID.Seq > g.recvSeq[m.ID.Sender] {
+		g.recvSeq[m.ID.Sender] = m.ID.Seq
+	}
+	// Acknowledge receipt for the sender's resiliency accounting.
+	if m.From != self && m.Corr != 0 {
+		_ = g.stack.node.Send(m.From, &types.Message{
+			Kind:  types.KindCastAck,
+			Group: g.id,
+			View:  m.View,
+			Corr:  m.Corr,
+		})
+	}
+	// The sequencer assigns the total order for casts that need one.
+	if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil {
+		seq := g.seqr.Assign()
+		orderMsg := &types.Message{
+			Kind:  types.KindOrder,
+			Group: g.id,
+			View:  g.view.ID,
+			ID:    m.ID,
+			Seq:   seq,
+		}
+		g.stack.node.SendCopies(g.view.Members, orderMsg)
+		for _, d := range g.total.AddOrder(seq, m.ID) {
+			g.deliver(d)
+		}
+	}
+
+	var deliverable []*types.Message
+	switch m.Ordering {
+	case types.Causal:
+		deliverable = g.causal.Add(m)
+	case types.Total:
+		deliverable = g.total.Add(m)
+	case types.FIFO:
+		deliverable = g.fifo.Add(m)
+	default: // Unordered
+		deliverable = []*types.Message{m}
+	}
+	for _, d := range deliverable {
+		g.deliver(d)
+	}
+	g.recheckPendingInstall()
+}
+
+func (g *Group) onCastAck(m *types.Message) {
+	w, ok := g.acks[m.Corr]
+	if !ok {
+		return
+	}
+	w.got++
+	if w.got >= w.need {
+		delete(g.acks, m.Corr)
+		select {
+		case w.done <- nil:
+		default:
+		}
+	}
+}
+
+func (g *Group) onOrder(m *types.Message) {
+	if g.closed || !g.joined || m.View != g.view.ID {
+		return
+	}
+	for _, d := range g.total.AddOrder(m.Seq, m.ID) {
+		g.deliver(d)
+	}
+	g.recheckPendingInstall()
+}
+
+func (g *Group) deliver(m *types.Message) {
+	if g.cfg.OnDeliver == nil {
+		return
+	}
+	g.cfg.OnDeliver(Delivery{
+		Group:    g.id,
+		View:     m.View,
+		From:     m.ID.Sender,
+		ID:       m.ID,
+		Ordering: m.Ordering,
+		Seq:      m.Seq,
+		Payload:  m.Payload,
+	})
+}
+
+func (g *Group) recheckPendingInstall() {
+	if g.pending == nil {
+		return
+	}
+	if g.cutSatisfied(g.pending.cut) {
+		p := g.pending
+		g.pending = nil
+		g.install(p.view, p.cut)
+	}
+}
+
+// --- leaving ------------------------------------------------------------------
+
+// Leave removes this process from the group. It blocks until the removal is
+// installed or the context expires.
+func (g *Group) Leave(ctx context.Context) error {
+	for {
+		if g.Closed() {
+			return nil
+		}
+		coord := g.Coordinator()
+		if coord.IsNil() {
+			return fmt.Errorf("leave %s: %w", g.id, types.ErrNotMember)
+		}
+		reqCtx, cancel := context.WithTimeout(ctx, g.cfg.RetryInterval)
+		var err error
+		if coord == g.stack.node.PID() {
+			err = g.stack.node.Call(func() {
+				g.coordinatorAddLeave(&types.Message{
+					Kind:    types.KindLeaveRequest,
+					Group:   g.id,
+					From:    g.stack.node.PID(),
+					ReplyTo: g.stack.node.PID(),
+					Corr:    0,
+				})
+			})
+		} else {
+			_, err = g.stack.node.Request(reqCtx, coord, &types.Message{
+				Kind:  types.KindLeaveRequest,
+				Group: g.id,
+			})
+		}
+		cancel()
+		if err == nil {
+			select {
+			case <-g.leftC:
+				return nil
+			case <-time.After(g.cfg.RetryInterval):
+				continue
+			case <-ctx.Done():
+				return fmt.Errorf("leave %s: %w", g.id, types.ErrTimeout)
+			}
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("leave %s: %w", g.id, types.ErrTimeout)
+		}
+	}
+}

@@ -1,0 +1,589 @@
+package group_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/group"
+	"repro/internal/member"
+	"repro/internal/types"
+)
+
+const testTimeout = 5 * time.Second
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// collector accumulates deliveries and views for assertions.
+type collector struct {
+	mu         sync.Mutex
+	deliveries []group.Delivery
+	views      []member.View
+}
+
+func (c *collector) onDeliver(d group.Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deliveries = append(c.deliveries, d)
+}
+
+func (c *collector) onView(v member.View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views = append(c.views, v)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deliveries)
+}
+
+func (c *collector) payloads() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.deliveries))
+	for i, d := range c.deliveries {
+		out[i] = string(d.Payload)
+	}
+	return out
+}
+
+func (c *collector) lastView() member.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.views) == 0 {
+		return member.View{}
+	}
+	return c.views[len(c.views)-1]
+}
+
+// buildGroup creates a flat group named "g" whose members are the first n
+// processes of the cluster: process 0 creates, the rest join through it.
+func buildGroup(t *testing.T, c *cluster.Cluster, n int, cfgFor func(i int) group.Config) []*group.Group {
+	t.Helper()
+	gid := types.FlatGroup("g")
+	groups := make([]*group.Group, n)
+	g0, err := c.Proc(0).Stack.Create(gid, cfgFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups[0] = g0
+	for i := 1; i < n; i++ {
+		g, err := c.Proc(i).Stack.Join(ctxT(t), gid, c.Proc(0).ID, cfgFor(i))
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		groups[i] = g
+	}
+	if !cluster.WaitForViewSize(testTimeout, n, groups...) {
+		for i, g := range groups {
+			t.Logf("member %d view: %v", i, g.CurrentView())
+		}
+		t.Fatalf("group never converged to %d members", n)
+	}
+	return groups
+}
+
+func TestCreateSingletonGroup(t *testing.T) {
+	c := cluster.MustNew(1, cluster.Options{})
+	defer c.Stop()
+	col := &collector{}
+	g, err := c.Proc(0).Stack.Create(types.FlatGroup("solo"), group.Config{OnView: col.onView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.CurrentView()
+	if v.Size() != 1 || v.ID != 1 || v.Coordinator() != c.Proc(0).ID {
+		t.Errorf("view = %v", v)
+	}
+	if g.Coordinator() != c.Proc(0).ID || g.Size() != 1 {
+		t.Error("accessors disagree with view")
+	}
+	if col.lastView().ID != 1 {
+		t.Error("OnView not called for the founding view")
+	}
+}
+
+func TestCreateTwiceRejected(t *testing.T) {
+	c := cluster.MustNew(1, cluster.Options{})
+	defer c.Stop()
+	if _, err := c.Proc(0).Stack.Create(types.FlatGroup("dup"), group.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Proc(0).Stack.Create(types.FlatGroup("dup"), group.Config{}); !errors.Is(err, types.ErrRejected) {
+		t.Errorf("second create err = %v", err)
+	}
+}
+
+func TestJoinGrowsView(t *testing.T) {
+	c := cluster.MustNew(4, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 4, func(int) group.Config { return group.Config{} })
+
+	// Every member must agree on the same membership and the same
+	// coordinator (the founder, being oldest).
+	want := groups[0].CurrentView()
+	if want.Coordinator() != c.Proc(0).ID {
+		t.Errorf("coordinator = %v", want.Coordinator())
+	}
+	for i, g := range groups {
+		v := g.CurrentView()
+		if v.Size() != 4 {
+			t.Errorf("member %d size = %d", i, v.Size())
+		}
+		if v.Coordinator() != want.Coordinator() {
+			t.Errorf("member %d coordinator = %v", i, v.Coordinator())
+		}
+	}
+}
+
+func TestJoinViaNonCoordinatorContact(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("g")
+	g0, err := c.Proc(0).Stack.Create(gid, group.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 2 joins via process 1, which is not the coordinator; the
+	// request must be forwarded.
+	g2, err := c.Proc(2).Stack.Join(ctxT(t), gid, c.Proc(1).ID, group.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitForViewSize(testTimeout, 3, g0, g1, g2) {
+		t.Fatal("group never reached 3 members")
+	}
+}
+
+func TestJoinUnknownGroupTimesOut(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	_, err := c.Proc(1).Stack.Join(ctx, types.FlatGroup("nope"), c.Proc(0).ID, group.Config{})
+	if !errors.Is(err, types.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestJoinSameGroupTwiceRejected(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("g")
+	if _, err := c.Proc(0).Stack.Create(gid, group.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{}); !errors.Is(err, types.ErrRejected) {
+		t.Errorf("second join err = %v", err)
+	}
+}
+
+func TestFIFOCastDeliveredToAllMembers(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, 3)
+	groups := buildGroup(t, c, 3, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnDeliver: cols[i].onDeliver}
+	})
+
+	const casts = 10
+	for i := 0; i < casts; i++ {
+		if err := groups[0].Cast(ctxT(t), types.FIFO, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("cast %d: %v", i, err)
+		}
+	}
+	for i, col := range cols {
+		if !cluster.WaitFor(testTimeout, func() bool { return col.count() == casts }) {
+			t.Fatalf("member %d delivered %d of %d", i, col.count(), casts)
+		}
+		got := col.payloads()
+		for j, p := range got {
+			if p != fmt.Sprintf("m%d", j) {
+				t.Fatalf("member %d delivery %d = %q (FIFO violated)", i, j, p)
+			}
+		}
+	}
+}
+
+func TestCastOrderingsDeliverEverywhere(t *testing.T) {
+	for _, o := range []types.Ordering{types.Unordered, types.FIFO, types.Causal, types.Total} {
+		o := o
+		t.Run(o.String(), func(t *testing.T) {
+			c := cluster.MustNew(3, cluster.Options{})
+			defer c.Stop()
+			cols := make([]*collector, 3)
+			groups := buildGroup(t, c, 3, func(i int) group.Config {
+				cols[i] = &collector{}
+				return group.Config{OnDeliver: cols[i].onDeliver}
+			})
+			for i, g := range groups {
+				if err := g.Cast(ctxT(t), o, []byte(fmt.Sprintf("from%d", i))); err != nil {
+					t.Fatalf("cast from %d: %v", i, err)
+				}
+			}
+			for i, col := range cols {
+				if !cluster.WaitFor(testTimeout, func() bool { return col.count() == 3 }) {
+					t.Fatalf("member %d delivered %d of 3 (%s)", i, col.count(), o)
+				}
+			}
+		})
+	}
+}
+
+func TestTotalOrderAgreement(t *testing.T) {
+	c := cluster.MustNew(4, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, 4)
+	groups := buildGroup(t, c, 4, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnDeliver: cols[i].onDeliver}
+	})
+
+	// Concurrent ABCASTs from every member.
+	var wg sync.WaitGroup
+	const perSender = 5
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *group.Group) {
+			defer wg.Done()
+			for k := 0; k < perSender; k++ {
+				if err := g.Cast(ctxT(t), types.Total, []byte(fmt.Sprintf("s%d-%d", i, k))); err != nil {
+					t.Errorf("cast: %v", err)
+				}
+			}
+		}(i, g)
+	}
+	wg.Wait()
+
+	total := perSender * len(groups)
+	for i, col := range cols {
+		if !cluster.WaitFor(testTimeout, func() bool { return col.count() == total }) {
+			t.Fatalf("member %d delivered %d of %d", i, col.count(), total)
+		}
+	}
+	// All members must observe the identical delivery sequence.
+	ref := cols[0].payloads()
+	for i := 1; i < len(cols); i++ {
+		got := cols[i].payloads()
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("ABCAST order differs at member %d position %d: %q vs %q", i, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestCausalOrderAcrossMembers(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, 3)
+	groups := buildGroup(t, c, 3, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnDeliver: cols[i].onDeliver}
+	})
+
+	// Member 0 casts "question"; member 1 waits to see it, then casts
+	// "answer" (causally dependent). No member may deliver the answer first.
+	if err := groups[0].Cast(ctxT(t), types.Causal, []byte("question")); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return cols[1].count() >= 1 }) {
+		t.Fatal("member 1 never saw the question")
+	}
+	if err := groups[1].Cast(ctxT(t), types.Causal, []byte("answer")); err != nil {
+		t.Fatal(err)
+	}
+	for i, col := range cols {
+		if !cluster.WaitFor(testTimeout, func() bool { return col.count() == 2 }) {
+			t.Fatalf("member %d delivered %d of 2", i, col.count())
+		}
+		p := col.payloads()
+		if p[0] != "question" || p[1] != "answer" {
+			t.Errorf("member %d causal order violated: %v", i, p)
+		}
+	}
+}
+
+func TestCastResiliencyAcks(t *testing.T) {
+	c := cluster.MustNew(4, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 4, func(i int) group.Config { return group.Config{Resiliency: 3} })
+	if err := groups[1].Cast(ctxT(t), types.FIFO, []byte("resilient")); err != nil {
+		t.Fatalf("cast with resiliency 3 in a 4-member group: %v", err)
+	}
+}
+
+func TestCastOnSingletonGroupSucceedsImmediately(t *testing.T) {
+	c := cluster.MustNew(1, cluster.Options{})
+	defer c.Stop()
+	col := &collector{}
+	g, err := c.Proc(0).Stack.Create(types.FlatGroup("solo"), group.Config{OnDeliver: col.onDeliver, Resiliency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Cast(ctxT(t), types.Total, []byte("alone")); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return col.count() == 1 }) {
+		t.Fatal("self-delivery missing")
+	}
+}
+
+func TestStateTransferToJoiner(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("kv")
+	state := []byte("snapshot-of-application-state")
+	_, err := c.Proc(0).Stack.Create(gid, group.Config{StateProvider: func() []byte { return state }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var received []byte
+	_, err = c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{
+		StateReceiver: func(b []byte) { mu.Lock(); received = b; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { mu.Lock(); defer mu.Unlock(); return string(received) == string(state) }) {
+		t.Fatalf("state transfer missing or wrong: %q", received)
+	}
+}
+
+func TestLeaveShrinksView(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 3, func(int) group.Config { return group.Config{} })
+
+	if err := groups[2].Leave(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !groups[2].Closed() {
+		t.Error("leaver not marked closed")
+	}
+	if !cluster.WaitForViewSize(testTimeout, 2, groups[0], groups[1]) {
+		t.Fatalf("views did not shrink: %v / %v", groups[0].CurrentView(), groups[1].CurrentView())
+	}
+	if groups[0].CurrentView().Contains(c.Proc(2).ID) {
+		t.Error("left member still in view")
+	}
+}
+
+func TestCoordinatorLeaveHandsOver(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 3, func(int) group.Config { return group.Config{} })
+
+	if err := groups[0].Leave(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitForViewSize(testTimeout, 2, groups[1], groups[2]) {
+		t.Fatal("survivors never installed the shrunk view")
+	}
+	// The next-oldest member takes over as coordinator.
+	if got := groups[1].Coordinator(); got != c.Proc(1).ID {
+		t.Errorf("new coordinator = %v, want %v", got, c.Proc(1).ID)
+	}
+}
+
+func TestMemberFailureRemovedFromView(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 3, func(int) group.Config { return group.Config{} })
+
+	c.Crash(2)
+	c.InjectFailure(2)
+
+	if !cluster.WaitForViewSize(testTimeout, 2, groups[0], groups[1]) {
+		t.Fatalf("failed member never removed: %v / %v", groups[0].CurrentView(), groups[1].CurrentView())
+	}
+	if groups[0].CurrentView().Contains(c.Proc(2).ID) {
+		t.Error("crashed member still in view")
+	}
+}
+
+func TestCoordinatorFailureNextTakesOver(t *testing.T) {
+	c := cluster.MustNew(4, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 4, func(int) group.Config { return group.Config{} })
+
+	c.Crash(0)
+	c.InjectFailure(0)
+
+	if !cluster.WaitForViewSize(testTimeout, 3, groups[1], groups[2], groups[3]) {
+		t.Fatalf("survivors never installed a 3-member view: %v", groups[1].CurrentView())
+	}
+	for i := 1; i < 4; i++ {
+		if got := groups[i].Coordinator(); got != c.Proc(1).ID {
+			t.Errorf("member %d sees coordinator %v, want %v", i, got, c.Proc(1).ID)
+		}
+	}
+}
+
+func TestCastingContinuesAfterFailure(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, 3)
+	groups := buildGroup(t, c, 3, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnDeliver: cols[i].onDeliver}
+	})
+
+	c.Crash(1)
+	c.InjectFailure(1)
+	if !cluster.WaitForViewSize(testTimeout, 2, groups[0], groups[2]) {
+		t.Fatal("view never shrank after crash")
+	}
+	if err := groups[2].Cast(ctxT(t), types.Total, []byte("after-failure")); err != nil {
+		t.Fatalf("cast after failure: %v", err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return cols[0].count() >= 1 && cols[2].count() >= 1 }) {
+		t.Fatal("post-failure cast not delivered to survivors")
+	}
+}
+
+func TestViewSynchronyAllSurvivorsSeeSameViews(t *testing.T) {
+	c := cluster.MustNew(4, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, 4)
+	groups := buildGroup(t, c, 4, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnView: cols[i].onView}
+	})
+
+	// One leave and one failure.
+	if err := groups[3].Leave(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+	c.InjectFailure(2)
+	if !cluster.WaitForViewSize(testTimeout, 2, groups[0], groups[1]) {
+		t.Fatal("final view never installed")
+	}
+	// Survivors 0 and 1 must have installed the same sequence of view ids
+	// with the same membership at each id.
+	viewsAt := func(col *collector) map[types.ViewID]string {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		out := make(map[types.ViewID]string)
+		for _, v := range col.views {
+			out[v.ID] = v.String()
+		}
+		return out
+	}
+	a, b := viewsAt(cols[0]), viewsAt(cols[1])
+	for id, va := range a {
+		if vb, ok := b[id]; ok && va != vb {
+			t.Errorf("view %d differs between survivors:\n  %s\n  %s", id, va, vb)
+		}
+	}
+}
+
+func TestGroupsAccessor(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("g")
+	if _, err := c.Proc(0).Stack.Create(gid, group.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Proc(0).Stack.Create(types.FlatGroup("h"), group.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	ids := c.Proc(0).Stack.Groups()
+	if len(ids) != 2 {
+		t.Errorf("Groups = %v", ids)
+	}
+	if c.Proc(0).Stack.Get(gid) == nil {
+		t.Error("Get returned nil for a joined group")
+	}
+	if c.Proc(0).Stack.Get(types.FlatGroup("missing")) != nil {
+		t.Error("Get returned a group for an unknown id")
+	}
+}
+
+func TestCastAfterLeaveFails(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	groups := buildGroup(t, c, 2, func(int) group.Config { return group.Config{} })
+	if err := groups[1].Leave(ctxT(t)); err != nil {
+		t.Fatal(err)
+	}
+	err := groups[1].Cast(ctxT(t), types.FIFO, []byte("zombie"))
+	if !errors.Is(err, types.ErrNotMember) {
+		t.Errorf("cast after leave err = %v", err)
+	}
+}
+
+func TestConcurrentJoinsConverge(t *testing.T) {
+	const n = 8
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("burst")
+	g0, err := c.Proc(0).Stack.Create(gid, group.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([]*group.Group, n)
+	groups[0] = g0
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			groups[i], errs[i] = c.Proc(i).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+	}
+	if !cluster.WaitForViewSize(testTimeout, n, groups...) {
+		t.Fatalf("concurrent joins never converged: %v", groups[0].CurrentView())
+	}
+}
+
+func TestLargeFlatGroupFiftyMembers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 50 // the paper's stated practical limit for flat ISIS groups
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	cols := make([]*collector, n)
+	groups := buildGroup(t, c, n, func(i int) group.Config {
+		cols[i] = &collector{}
+		return group.Config{OnDeliver: cols[i].onDeliver}
+	})
+	if err := groups[0].Cast(ctxT(t), types.FIFO, []byte("hello-50")); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return cols[n-1].count() == 1 && cols[n/2].count() == 1 }) {
+		t.Fatal("cast not delivered across the 50-member group")
+	}
+	if v := groups[n-1].CurrentView(); v.Size() != n {
+		t.Fatalf("view size = %d", v.Size())
+	}
+}

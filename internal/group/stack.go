@@ -1,0 +1,249 @@
+package group
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fdetect"
+	"repro/internal/member"
+	"repro/internal/node"
+	"repro/internal/types"
+)
+
+// Stack manages every group membership of one process. Create one Stack per
+// node; groups (flat groups, and the leaf/leader groups of the hierarchical
+// layer) are created and joined through it.
+type Stack struct {
+	node *node.Node
+	det  *fdetect.Detector
+
+	// groups is only touched on the actor goroutine.
+	groups map[string]*Group
+}
+
+// NewStack creates the group stack for a node and registers its message
+// handlers. The failure detector is optional; when present, suspicions are
+// routed to every group the suspected process belongs to and group views
+// feed the detector's monitored set.
+func NewStack(n *node.Node, det *fdetect.Detector) *Stack {
+	s := &Stack{node: n, det: det, groups: make(map[string]*Group)}
+	n.Handle(types.KindJoinRequest, s.onJoinRequest)
+	n.Handle(types.KindLeaveRequest, s.onLeaveRequest)
+	n.Handle(types.KindViewPropose, s.route((*Group).onViewPropose))
+	n.Handle(types.KindViewFlushAck, s.route((*Group).onViewFlushAck))
+	n.Handle(types.KindViewInstall, s.onViewInstall)
+	n.Handle(types.KindStateTransfer, s.route((*Group).onStateTransfer))
+	n.Handle(types.KindCast, s.route((*Group).onCast))
+	n.Handle(types.KindCastAck, s.route((*Group).onCastAck))
+	n.Handle(types.KindOrder, s.route((*Group).onOrder))
+	return s
+}
+
+// Node returns the node this stack is bound to.
+func (s *Stack) Node() *node.Node { return s.node }
+
+// Detector returns the stack's failure detector (may be nil).
+func (s *Stack) Detector() *fdetect.Detector { return s.det }
+
+// route adapts a Group method into a node handler, dispatching on the
+// message's group id.
+func (s *Stack) route(fn func(*Group, *types.Message)) node.Handler {
+	return func(m *types.Message) {
+		g, ok := s.groups[m.Group.Key()]
+		if !ok {
+			return // group unknown at this process (stale or misdirected)
+		}
+		if s.det != nil {
+			s.det.Alive(m.From)
+		}
+		fn(g, m)
+	}
+}
+
+// ReportSuspicion informs every group containing p that p is suspected to
+// have failed. It must be called on the actor goroutine (the failure
+// detector's callback already runs there).
+func (s *Stack) ReportSuspicion(p types.ProcessID) {
+	for _, g := range s.groups {
+		g.reportFailure(p)
+	}
+}
+
+// Get returns the local Group object for gid, or nil. Safe from any
+// goroutine (read-only snapshot via the actor).
+func (s *Stack) Get(gid types.GroupID) *Group {
+	var g *Group
+	_ = s.node.Call(func() { g = s.groups[gid.Key()] })
+	return g
+}
+
+// Groups returns the ids of all groups this process currently belongs to.
+func (s *Stack) Groups() []types.GroupID {
+	var out []types.GroupID
+	_ = s.node.Call(func() {
+		for _, g := range s.groups {
+			if g.joined && !g.closed {
+				out = append(out, g.id)
+			}
+		}
+	})
+	return out
+}
+
+// Create makes this process the founding (and sole) member of a new group.
+func (s *Stack) Create(gid types.GroupID, cfg Config) (*Group, error) {
+	cfg = cfg.withDefaults()
+	var g *Group
+	var err error
+	callErr := s.node.Call(func() {
+		if _, exists := s.groups[gid.Key()]; exists {
+			err = fmt.Errorf("create %s: already a member: %w", gid, types.ErrRejected)
+			return
+		}
+		g = newGroup(s, gid, cfg)
+		s.groups[gid.Key()] = g
+		v := member.NewView(gid, 1, []types.ProcessID{s.node.PID()})
+		g.install(v, nil)
+	})
+	if callErr != nil {
+		return nil, callErr
+	}
+	return g, err
+}
+
+// Join adds this process to an existing group by contacting any current
+// member (typically learned from the name service). It blocks until the
+// first view including this process is installed, the context expires, or
+// the contact definitively rejects the join.
+func (s *Stack) Join(ctx context.Context, gid types.GroupID, contact types.ProcessID, cfg Config) (*Group, error) {
+	cfg = cfg.withDefaults()
+	var g *Group
+	var regErr error
+	callErr := s.node.Call(func() {
+		if _, exists := s.groups[gid.Key()]; exists {
+			regErr = fmt.Errorf("join %s: already a member: %w", gid, types.ErrRejected)
+			return
+		}
+		g = newGroup(s, gid, cfg)
+		s.groups[gid.Key()] = g
+	})
+	if callErr != nil {
+		return nil, callErr
+	}
+	if regErr != nil {
+		return nil, regErr
+	}
+
+	// Keep asking until a view including us is installed or the caller gives
+	// up. The request is idempotent at the coordinator.
+	for {
+		reqCtx, cancel := context.WithTimeout(ctx, cfg.RetryInterval)
+		_, err := s.node.Request(reqCtx, contact, &types.Message{
+			Kind:  types.KindJoinRequest,
+			Group: gid,
+		})
+		cancel()
+		if err == nil {
+			// Accepted; now wait (bounded by ctx) for the install.
+			select {
+			case <-g.joinedC:
+				return g, nil
+			case <-time.After(cfg.RetryInterval):
+				// Re-request: the coordinator may have failed mid-change.
+			case <-ctx.Done():
+				s.abandon(gid)
+				return nil, fmt.Errorf("join %s: %w", gid, types.ErrTimeout)
+			}
+			continue
+		}
+		select {
+		case <-g.joinedC:
+			// The install can race with a rejected/late retry; joined wins.
+			return g, nil
+		default:
+		}
+		if ctx.Err() != nil {
+			s.abandon(gid)
+			return nil, fmt.Errorf("join %s via %v: %w", gid, contact, types.ErrTimeout)
+		}
+		// Transient failure (timeout, crashed contact, rejection because a
+		// view change is in flight): back off briefly and retry.
+		select {
+		case <-time.After(cfg.RetryInterval / 4):
+		case <-ctx.Done():
+			s.abandon(gid)
+			return nil, fmt.Errorf("join %s via %v: %w", gid, contact, types.ErrTimeout)
+		}
+	}
+}
+
+// abandon removes a group registration that never completed joining.
+func (s *Stack) abandon(gid types.GroupID) {
+	_ = s.node.Call(func() {
+		if g, ok := s.groups[gid.Key()]; ok && !g.joined {
+			g.closed = true
+			delete(s.groups, gid.Key())
+		}
+	})
+}
+
+// remove unregisters a group after leave/dissolve. Actor goroutine only.
+func (s *Stack) remove(gid types.GroupID) {
+	delete(s.groups, gid.Key())
+}
+
+// onJoinRequest handles a join request arriving at any member: forward it to
+// the coordinator if necessary, otherwise queue the join.
+func (s *Stack) onJoinRequest(m *types.Message) {
+	g, ok := s.groups[m.Group.Key()]
+	if !ok || !g.joined || g.closed {
+		_ = s.node.Reply(m, nil, types.ErrNoSuchGroup.Error())
+		return
+	}
+	coord := g.actingCoordinator()
+	if coord != s.node.PID() {
+		// Forward to the coordinator; the reply will go straight back to the
+		// joiner because ReplyTo is preserved.
+		fwd := m.Clone()
+		if fwd.ReplyTo.IsNil() {
+			fwd.ReplyTo = m.From
+		}
+		_ = s.node.Send(coord, fwd)
+		return
+	}
+	g.coordinatorAddJoin(m)
+}
+
+// onLeaveRequest handles a leave request at the coordinator (or forwards).
+func (s *Stack) onLeaveRequest(m *types.Message) {
+	g, ok := s.groups[m.Group.Key()]
+	if !ok || !g.joined || g.closed {
+		_ = s.node.Reply(m, nil, types.ErrNoSuchGroup.Error())
+		return
+	}
+	coord := g.actingCoordinator()
+	if coord != s.node.PID() {
+		fwd := m.Clone()
+		if fwd.ReplyTo.IsNil() {
+			fwd.ReplyTo = m.From
+		}
+		_ = s.node.Send(coord, fwd)
+		return
+	}
+	g.coordinatorAddLeave(m)
+}
+
+// onViewInstall needs special routing: the installing process may not have a
+// Group object yet only in the (unsupported) uninvited-add case; normally the
+// group exists because Join registered it.
+func (s *Stack) onViewInstall(m *types.Message) {
+	g, ok := s.groups[m.Group.Key()]
+	if !ok {
+		return
+	}
+	if s.det != nil {
+		s.det.Alive(m.From)
+	}
+	g.onViewInstall(m)
+}

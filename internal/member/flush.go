@@ -1,0 +1,129 @@
+package member
+
+import (
+	"repro/internal/types"
+)
+
+// FlushTracker is the coordinator-side bookkeeping for one in-progress view
+// change. The coordinator proposes a new view, waits for a flush
+// acknowledgement from every surviving member of the old view (joiners do
+// not need to flush), and only then installs the new view. The tracker also
+// aggregates the per-sender delivery cuts reported in the acknowledgements
+// so the install message can tell every member how much traffic must be
+// delivered before switching views (the virtual-synchrony cut).
+type FlushTracker struct {
+	Proposed View
+	Corr     uint64
+
+	waitingOn map[types.ProcessID]bool
+	cut       map[types.ProcessID]uint64 // per-sender maximum delivered seq
+}
+
+// NewFlushTracker starts tracking a proposed view change. waitFor is the set
+// of processes that must acknowledge the flush — normally the intersection
+// of the old view's members and the new view's members, plus the coordinator
+// itself.
+func NewFlushTracker(proposed View, corr uint64, waitFor []types.ProcessID) *FlushTracker {
+	ft := &FlushTracker{
+		Proposed:  proposed,
+		Corr:      corr,
+		waitingOn: make(map[types.ProcessID]bool, len(waitFor)),
+		cut:       make(map[types.ProcessID]uint64),
+	}
+	for _, p := range waitFor {
+		ft.waitingOn[p] = true
+	}
+	return ft
+}
+
+// Ack records a flush acknowledgement from p carrying its per-sender
+// delivered counts, and reports whether all awaited acknowledgements have
+// now arrived.
+func (ft *FlushTracker) Ack(p types.ProcessID, delivered map[types.ProcessID]uint64) bool {
+	delete(ft.waitingOn, p)
+	for sender, seq := range delivered {
+		if seq > ft.cut[sender] {
+			ft.cut[sender] = seq
+		}
+	}
+	return ft.Complete()
+}
+
+// Drop removes a process from the awaited set (it failed during the view
+// change) and reports whether the flush is now complete.
+func (ft *FlushTracker) Drop(p types.ProcessID) bool {
+	delete(ft.waitingOn, p)
+	return ft.Complete()
+}
+
+// Complete reports whether every awaited acknowledgement has arrived.
+func (ft *FlushTracker) Complete() bool { return len(ft.waitingOn) == 0 }
+
+// Waiting returns the processes still being waited on.
+func (ft *FlushTracker) Waiting() []types.ProcessID {
+	out := make([]types.ProcessID, 0, len(ft.waitingOn))
+	for p := range ft.waitingOn {
+		out = append(out, p)
+	}
+	return types.SortProcesses(out)
+}
+
+// Cut returns the aggregated delivery cut: for each sender, the highest
+// sequence number any acknowledging member had delivered. Members must reach
+// this cut before installing the new view.
+func (ft *FlushTracker) Cut() map[types.ProcessID]uint64 {
+	out := make(map[types.ProcessID]uint64, len(ft.cut))
+	for k, v := range ft.cut {
+		out[k] = v
+	}
+	return out
+}
+
+// EncodeCut serialises a delivery cut for the install message.
+func EncodeCut(cut map[types.ProcessID]uint64) []byte {
+	b := types.EncodeUint64(nil, uint64(len(cut)))
+	// Deterministic order for reproducible wire sizes.
+	senders := make([]types.ProcessID, 0, len(cut))
+	for p := range cut {
+		senders = append(senders, p)
+	}
+	types.SortProcesses(senders)
+	for _, p := range senders {
+		b = types.EncodeUint64(b, uint64(p.Site))
+		b = types.EncodeUint64(b, uint64(p.Incarnation))
+		b = types.EncodeUint64(b, uint64(p.Index))
+		b = types.EncodeUint64(b, cut[p])
+	}
+	return b
+}
+
+// DecodeCut parses a delivery cut serialised by EncodeCut, returning the
+// remaining bytes.
+func DecodeCut(b []byte) (map[types.ProcessID]uint64, []byte, bool) {
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return nil, b, false
+	}
+	cut := make(map[types.ProcessID]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		var site, inc, idx, seq uint64
+		site, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		inc, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		idx, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		seq, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return nil, b, false
+		}
+		cut[types.ProcessID{Site: types.SiteID(site), Incarnation: uint32(inc), Index: uint32(idx)}] = seq
+	}
+	return cut, b, true
+}

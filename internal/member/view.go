@@ -1,0 +1,189 @@
+// Package member defines group views — the fundamental data structure
+// representing a group, as the paper puts it — and the bookkeeping used by
+// the view-change (flush) protocol. The package is purely data-structural:
+// the networked state machine that drives view changes lives in
+// internal/group (flat groups) and internal/core (hierarchical groups).
+package member
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// View is one membership epoch of a flat (or leaf/leader) group. Members
+// are ordered by join age: Members[0] is the oldest surviving member and
+// acts as the view's coordinator (and ABCAST sequencer).
+type View struct {
+	Group   types.GroupID
+	ID      types.ViewID
+	Members []types.ProcessID
+}
+
+// NewView constructs a view, copying the member slice.
+func NewView(g types.GroupID, id types.ViewID, members []types.ProcessID) View {
+	return View{Group: g, ID: id, Members: types.CopyProcesses(members)}
+}
+
+// Size returns the number of members.
+func (v View) Size() int { return len(v.Members) }
+
+// Coordinator returns the view's coordinator (oldest member), or the nil
+// process for an empty view.
+func (v View) Coordinator() types.ProcessID {
+	if len(v.Members) == 0 {
+		return types.NilProcess
+	}
+	return v.Members[0]
+}
+
+// Rank returns the position of p in the view (0 = coordinator), or -1 when
+// p is not a member.
+func (v View) Rank(p types.ProcessID) int {
+	for i, m := range v.Members {
+		if m == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether p is a member of the view.
+func (v View) Contains(p types.ProcessID) bool { return v.Rank(p) >= 0 }
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	return View{Group: v.Group, ID: v.ID, Members: types.CopyProcesses(v.Members)}
+}
+
+// WithAdded returns the successor view that adds the given processes at the
+// end of the member list (they are the youngest members).
+func (v View) WithAdded(ps ...types.ProcessID) View {
+	next := v.Clone()
+	next.ID++
+	for _, p := range ps {
+		if !next.Contains(p) {
+			next.Members = append(next.Members, p)
+		}
+	}
+	return next
+}
+
+// WithRemoved returns the successor view that removes the given processes,
+// preserving the age order of the survivors.
+func (v View) WithRemoved(ps ...types.ProcessID) View {
+	next := v.Clone()
+	next.ID++
+	for _, p := range ps {
+		next.Members = types.RemoveProcess(next.Members, p)
+	}
+	return next
+}
+
+// Equal reports whether two views have the same group, id and member list.
+func (v View) Equal(o View) bool {
+	if !v.Group.Equal(o.Group) || v.ID != o.ID || len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StorageSize estimates the bytes a process spends storing this view:
+// the group identity plus one address per member. Experiment E6 compares
+// this quantity between flat and hierarchical groups.
+func (v View) StorageSize() int {
+	const perMember = 12 // ProcessID: site + incarnation + index
+	return len(v.Group.Name) + 1 + 4*len(v.Group.Path) + 8 + perMember*len(v.Members)
+}
+
+// String renders the view for logs: "quotes v3 {p1.0:0 p2.0:0}".
+func (v View) String() string {
+	names := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		names[i] = m.String()
+	}
+	return fmt.Sprintf("%s v%d {%s}", v.Group, v.ID, strings.Join(names, " "))
+}
+
+// Encode serialises the view for inclusion in protocol payloads.
+func (v View) Encode() []byte {
+	b := types.EncodeString(nil, v.Group.Name)
+	b = types.EncodeUint64(b, uint64(v.Group.Kind))
+	b = types.EncodeUint64(b, uint64(len(v.Group.Path)))
+	for _, p := range v.Group.Path {
+		b = types.EncodeUint64(b, uint64(p))
+	}
+	b = types.EncodeUint64(b, uint64(v.ID))
+	b = types.EncodeUint64(b, uint64(len(v.Members)))
+	for _, m := range v.Members {
+		b = types.EncodeUint64(b, uint64(m.Site))
+		b = types.EncodeUint64(b, uint64(m.Incarnation))
+		b = types.EncodeUint64(b, uint64(m.Index))
+	}
+	return b
+}
+
+// DecodeView parses a view encoded with Encode.
+func DecodeView(b []byte) (View, error) {
+	var v View
+	name, b, ok := types.DecodeString(b)
+	if !ok {
+		return v, fmt.Errorf("member: decode view name: %w", types.ErrRejected)
+	}
+	kind, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return v, fmt.Errorf("member: decode view kind: %w", types.ErrRejected)
+	}
+	nPath, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return v, fmt.Errorf("member: decode view path len: %w", types.ErrRejected)
+	}
+	path := make([]uint32, 0, nPath)
+	for i := uint64(0); i < nPath; i++ {
+		var p uint64
+		p, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return v, fmt.Errorf("member: decode view path: %w", types.ErrRejected)
+		}
+		path = append(path, uint32(p))
+	}
+	id, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return v, fmt.Errorf("member: decode view id: %w", types.ErrRejected)
+	}
+	nMembers, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return v, fmt.Errorf("member: decode member count: %w", types.ErrRejected)
+	}
+	members := make([]types.ProcessID, 0, nMembers)
+	for i := uint64(0); i < nMembers; i++ {
+		var site, inc, idx uint64
+		site, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return v, fmt.Errorf("member: decode member site: %w", types.ErrRejected)
+		}
+		inc, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return v, fmt.Errorf("member: decode member incarnation: %w", types.ErrRejected)
+		}
+		idx, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return v, fmt.Errorf("member: decode member index: %w", types.ErrRejected)
+		}
+		members = append(members, types.ProcessID{
+			Site:        types.SiteID(site),
+			Incarnation: uint32(inc),
+			Index:       uint32(idx),
+		})
+	}
+	v.Group = types.GroupID{Name: name, Kind: types.GroupKind(kind), Path: path}
+	v.ID = types.ViewID(id)
+	v.Members = members
+	return v, nil
+}

@@ -1,0 +1,158 @@
+// Package metrics provides the counters, latency summaries and plain-text
+// table/series printers the benchmark harness uses to regenerate the
+// experiment tables in EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a simple latency recorder producing percentile summaries.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Percentile returns the q-th percentile (0 < q <= 100) of the recorded
+// samples, or 0 when empty.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average of the recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// CountAbove returns how many samples exceed the threshold (deadline-miss
+// counting for the trading-room experiment).
+func (h *Histogram) CountAbove(threshold time.Duration) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.samples {
+		if s > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Table accumulates rows and renders them as an aligned plain-text table,
+// the format cmd/isis-bench prints and EXPERIMENTS.md records.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var header strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(&header, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w, strings.TrimRight(header.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(header.String(), " "))))
+	for _, row := range t.rows {
+		var line strings.Builder
+		for i, cell := range row {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&line, "%-*s  ", width, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

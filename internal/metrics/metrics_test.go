@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentilesAndMean(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if p := h.Percentile(50); p < 45*time.Millisecond || p > 55*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); p < 95*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	if m := h.Mean(); m < 49*time.Millisecond || m > 52*time.Millisecond {
+		t.Errorf("mean = %v", m)
+	}
+	if got := h.CountAbove(90 * time.Millisecond); got != 10 {
+		t.Errorf("CountAbove = %d", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("E1: request cost", "n", "flat msgs", "hier msgs", "ratio")
+	tab.AddRow(10, 20, 9, 2.2222)
+	tab.AddRow(500, 1000, 9, 111.11)
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d", tab.Rows())
+	}
+	out := tab.String()
+	for _, want := range []string{"E1: request cost", "flat msgs", "500", "1000", "111"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("rendered table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableDurationFormatting(t *testing.T) {
+	tab := NewTable("", "what", "latency")
+	tab.AddRow("p99", 1500*time.Microsecond)
+	if !strings.Contains(tab.String(), "1.5ms") {
+		t.Errorf("duration not formatted: %s", tab.String())
+	}
+}

@@ -1,0 +1,207 @@
+// Package naming implements the group name-to-address mapping service the
+// paper calls out as one of the issues in the large-scale setting: clients
+// and joining processes need to turn a service name ("quotes") into the
+// address of a process already participating in that service, without every
+// process knowing every membership.
+//
+// The directory itself is a small replicated service: every directory
+// replica answers lookups from its local table, and registrations are
+// applied at every replica (the caller registers with any replica, which
+// forwards to its peers). For the simulation-scale experiments a handful of
+// replicas is plenty; the important property is that a lookup costs a
+// constant number of messages regardless of how large the named groups are.
+package naming
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/types"
+)
+
+// Record is one name binding: the contacts through which a named group can
+// be reached (for a large group these are leader-group members; for a flat
+// group, any members).
+type Record struct {
+	Name     string
+	Contacts []types.ProcessID
+}
+
+// Directory is one replica of the name service, hosted on a node.
+type Directory struct {
+	node  *node.Node
+	peers []types.ProcessID
+
+	mu      sync.Mutex
+	records map[string]Record
+}
+
+// NewDirectory attaches a directory replica to a node. peers are the other
+// directory replicas registrations should be propagated to (may be empty).
+func NewDirectory(n *node.Node, peers []types.ProcessID) *Directory {
+	d := &Directory{
+		node:    n,
+		peers:   types.CopyProcesses(peers),
+		records: make(map[string]Record),
+	}
+	n.Handle(types.KindNameLookup, d.onLookup)
+	n.Handle(types.KindNameRegister, d.onRegister)
+	return d
+}
+
+// Register binds a name locally and propagates the binding to peer replicas.
+func (d *Directory) Register(name string, contacts []types.ProcessID) {
+	d.put(Record{Name: name, Contacts: contacts})
+	payload := encodeRecord(Record{Name: name, Contacts: contacts})
+	for _, p := range d.peers {
+		if p == d.node.PID() {
+			continue
+		}
+		_ = d.node.Send(p, &types.Message{Kind: types.KindNameRegister, Hop: 1, Payload: payload})
+	}
+}
+
+// Lookup resolves a name from the local table.
+func (d *Directory) Lookup(name string) (Record, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.records[name]
+	return r, ok
+}
+
+// Names returns all registered names (for the demo tool).
+func (d *Directory) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.records))
+	for n := range d.records {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (d *Directory) put(r Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.records[r.Name] = Record{Name: r.Name, Contacts: types.CopyProcesses(r.Contacts)}
+}
+
+func (d *Directory) onRegister(m *types.Message) {
+	r, ok := decodeRecord(m.Payload)
+	if !ok {
+		return
+	}
+	d.put(r)
+	// Registrations arriving directly from a service (hop 0) are propagated
+	// to the peer replicas; replica-to-replica copies (hop 1) are not
+	// re-forwarded, which keeps the gossip from echoing forever.
+	if m.Hop == 0 {
+		for _, p := range d.peers {
+			if p == d.node.PID() || p == m.From {
+				continue
+			}
+			fwd := &types.Message{Kind: types.KindNameRegister, Hop: 1, Payload: m.Payload}
+			_ = d.node.Send(p, fwd)
+		}
+	}
+	if m.Corr != 0 {
+		_ = d.node.Reply(m, nil, "")
+	}
+}
+
+func (d *Directory) onLookup(m *types.Message) {
+	name, _, ok := types.DecodeString(m.Payload)
+	if !ok {
+		_ = d.node.Reply(m, nil, "malformed lookup")
+		return
+	}
+	rec, found := d.Lookup(name)
+	if !found {
+		_ = d.node.Reply(m, nil, types.ErrNoSuchGroup.Error())
+		return
+	}
+	_ = d.node.Reply(m, encodeRecord(rec), "")
+}
+
+// Resolver is the client side of the name service.
+type Resolver struct {
+	node      *node.Node
+	directory types.ProcessID
+}
+
+// NewResolver creates a resolver that queries the given directory replica.
+func NewResolver(n *node.Node, directory types.ProcessID) *Resolver {
+	return &Resolver{node: n, directory: directory}
+}
+
+// Resolve looks a name up and returns its contacts.
+func (r *Resolver) Resolve(ctx context.Context, name string) ([]types.ProcessID, error) {
+	reply, err := r.node.Request(ctx, r.directory, &types.Message{
+		Kind:    types.KindNameLookup,
+		Payload: types.EncodeString(nil, name),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", name, err)
+	}
+	rec, ok := decodeRecord(reply.Payload)
+	if !ok {
+		return nil, fmt.Errorf("resolve %q: malformed record: %w", name, types.ErrRejected)
+	}
+	return rec.Contacts, nil
+}
+
+// RegisterRemote registers a binding at the directory from a non-directory
+// process (for example a service founder announcing itself).
+func (r *Resolver) RegisterRemote(ctx context.Context, name string, contacts []types.ProcessID) error {
+	_, err := r.node.Request(ctx, r.directory, &types.Message{
+		Kind:    types.KindNameRegister,
+		Payload: encodeRecord(Record{Name: name, Contacts: contacts}),
+	})
+	if err != nil {
+		return fmt.Errorf("register %q: %w", name, err)
+	}
+	return nil
+}
+
+func encodeRecord(r Record) []byte {
+	b := types.EncodeString(nil, r.Name)
+	b = types.EncodeUint64(b, uint64(len(r.Contacts)))
+	for _, c := range r.Contacts {
+		b = types.EncodeUint64(b, uint64(c.Site))
+		b = types.EncodeUint64(b, uint64(c.Incarnation))
+		b = types.EncodeUint64(b, uint64(c.Index))
+	}
+	return b
+}
+
+func decodeRecord(b []byte) (Record, bool) {
+	var r Record
+	var ok bool
+	r.Name, b, ok = types.DecodeString(b)
+	if !ok {
+		return r, false
+	}
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var site, inc, idx uint64
+		site, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return r, false
+		}
+		inc, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return r, false
+		}
+		idx, b, ok = types.DecodeUint64(b)
+		if !ok {
+			return r, false
+		}
+		r.Contacts = append(r.Contacts, types.ProcessID{Site: types.SiteID(site), Incarnation: uint32(inc), Index: uint32(idx)})
+	}
+	return r, true
+}

@@ -1,0 +1,117 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+func newNodes(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
+	out := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := node.New(pid(uint32(i+1)), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.Start()
+		out[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range out {
+			nd.Stop()
+		}
+	})
+	return out
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestLocalRegisterLookup(t *testing.T) {
+	nodes := newNodes(t, 1)
+	d := NewDirectory(nodes[0], nil)
+	d.Register("quotes", []types.ProcessID{pid(7), pid(8)})
+	rec, ok := d.Lookup("quotes")
+	if !ok || len(rec.Contacts) != 2 || rec.Contacts[0] != pid(7) {
+		t.Errorf("Lookup = %+v, %v", rec, ok)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup found a missing name")
+	}
+	if len(d.Names()) != 1 {
+		t.Errorf("Names = %v", d.Names())
+	}
+}
+
+func TestRemoteResolve(t *testing.T) {
+	nodes := newNodes(t, 2)
+	d := NewDirectory(nodes[0], nil)
+	d.Register("factory", []types.ProcessID{pid(9)})
+
+	r := NewResolver(nodes[1], nodes[0].PID())
+	contacts, err := r.Resolve(ctxT(t), "factory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contacts) != 1 || contacts[0] != pid(9) {
+		t.Errorf("contacts = %v", contacts)
+	}
+	if _, err := r.Resolve(ctxT(t), "nope"); !errors.Is(err, types.ErrRejected) {
+		t.Errorf("missing name err = %v", err)
+	}
+}
+
+func TestRegisterRemoteAndPropagation(t *testing.T) {
+	nodes := newNodes(t, 3)
+	// Two directory replicas that know about each other, plus a client.
+	dA := NewDirectory(nodes[0], []types.ProcessID{nodes[1].PID()})
+	dB := NewDirectory(nodes[1], []types.ProcessID{nodes[0].PID()})
+
+	r := NewResolver(nodes[2], nodes[0].PID())
+	if err := r.RegisterRemote(ctxT(t), "quotes", []types.ProcessID{pid(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dA.Lookup("quotes"); !ok {
+		t.Error("registration missing at the contacted replica")
+	}
+	// Propagation to the peer replica is asynchronous.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := dB.Lookup("quotes"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("registration never propagated to the peer replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A resolver pointed at the peer replica must now succeed too.
+	r2 := NewResolver(nodes[2], nodes[1].PID())
+	if _, err := r2.Resolve(ctxT(t), "quotes"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordCodecRejectsGarbage(t *testing.T) {
+	if _, ok := decodeRecord([]byte{1, 2, 3}); ok {
+		t.Error("decodeRecord accepted garbage")
+	}
+	rec := Record{Name: "x", Contacts: []types.ProcessID{pid(1)}}
+	got, ok := decodeRecord(encodeRecord(rec))
+	if !ok || got.Name != "x" || len(got.Contacts) != 1 {
+		t.Errorf("round trip = %+v, %v", got, ok)
+	}
+}

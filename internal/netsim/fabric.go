@@ -1,0 +1,385 @@
+// Package netsim simulates the network of workstations the paper targets.
+//
+// The Fabric is the measurement substrate for every experiment: it carries
+// each point-to-point message between simulated processes, applies a latency
+// model, injects loss and partitions on demand, and counts messages, bytes
+// and per-process destinations. Because both the flat ("existing ISIS")
+// stack and the hierarchical stack send every message through the same
+// Fabric, the comparisons reported in EXPERIMENTS.md measure exactly the
+// quantities the paper reasons about — number of messages, number of
+// destinations, and who has to do work — rather than artifacts of either
+// implementation.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Config describes the simulated LAN.
+type Config struct {
+	// BaseLatency is the one-way delivery latency applied to every message.
+	// Zero means deliver as fast as the scheduler allows (the default for
+	// unit tests and message-count experiments).
+	BaseLatency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate is the probability in [0,1) that a message is silently
+	// dropped. The in-memory transport is reliable when LossRate is zero.
+	LossRate float64
+	// Seed seeds the fabric's private random source so experiments are
+	// reproducible. Zero selects a fixed default seed.
+	Seed int64
+	// QueueLen is the per-process inbound queue length. Zero selects a
+	// large default. When a queue overflows the message is counted as
+	// dropped (models an overloaded workstation).
+	QueueLen int
+	// PerHopCost is the synthetic processing cost charged per delivered
+	// message when computing the simulated latency figures reported by the
+	// workload experiments. It does not delay real goroutines.
+	PerHopCost time.Duration
+}
+
+// DefaultConfig returns the configuration used by most tests: instantaneous,
+// lossless delivery with accounting enabled.
+func DefaultConfig() Config {
+	return Config{QueueLen: 4096}
+}
+
+// Packet is one message in flight, as seen by the fabric.
+type Packet struct {
+	From types.ProcessID
+	To   types.ProcessID
+	Msg  *types.Message
+	// Size is the wire size charged for the packet.
+	Size int
+}
+
+// Stats is a snapshot of the fabric's counters.
+type Stats struct {
+	// MessagesSent counts every send attempt, including dropped ones.
+	MessagesSent uint64
+	// MessagesDelivered counts messages handed to a destination queue.
+	MessagesDelivered uint64
+	// MessagesDropped counts losses (random loss, partitions, crashed or
+	// unknown destinations, queue overflow).
+	MessagesDropped uint64
+	// BytesSent is the total wire size of all send attempts.
+	BytesSent uint64
+	// PerKind breaks MessagesSent down by protocol message kind.
+	PerKind map[types.Kind]uint64
+	// PerSender counts send attempts per originating process.
+	PerSender map[types.ProcessID]uint64
+	// PerReceiver counts deliveries per destination process.
+	PerReceiver map[types.ProcessID]uint64
+}
+
+// Fabric is the simulated network. It is safe for concurrent use.
+type Fabric struct {
+	cfg Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	procs      map[types.ProcessID]*port
+	partitions map[types.ProcessID]int // partition id per process; default 0
+	crashed    map[types.ProcessID]bool
+	dropRules  []DropRule
+	fanout     map[types.ProcessID]map[types.ProcessID]struct{}
+
+	stats   Stats
+	watcher func(Packet) // optional tap for tests/trace
+}
+
+// DropRule selectively drops matching packets; used for fault injection in
+// tests (for example "drop all view-install messages to p3").
+type DropRule func(Packet) bool
+
+// port is the receive side of one attached process.
+type port struct {
+	queue chan *types.Message
+}
+
+// New creates a fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x15150451
+	}
+	return &Fabric{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		procs:      make(map[types.ProcessID]*port),
+		partitions: make(map[types.ProcessID]int),
+		crashed:    make(map[types.ProcessID]bool),
+		fanout:     make(map[types.ProcessID]map[types.ProcessID]struct{}),
+		stats: Stats{
+			PerKind:     make(map[types.Kind]uint64),
+			PerSender:   make(map[types.ProcessID]uint64),
+			PerReceiver: make(map[types.ProcessID]uint64),
+		},
+	}
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Attach registers a process and returns its inbound message channel. It is
+// an error to attach the same process twice.
+func (f *Fabric) Attach(p types.ProcessID) (<-chan *types.Message, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.procs[p]; ok {
+		return nil, fmt.Errorf("netsim: attach %v: %w", p, types.ErrRejected)
+	}
+	pt := &port{queue: make(chan *types.Message, f.cfg.QueueLen)}
+	f.procs[p] = pt
+	delete(f.crashed, p)
+	return pt.queue, nil
+}
+
+// Detach removes a process from the network (clean shutdown). Messages in
+// its queue are discarded.
+func (f *Fabric) Detach(p types.ProcessID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.procs, p)
+	delete(f.partitions, p)
+}
+
+// Crash marks a process as crashed: its queue stops accepting messages and
+// existing queued messages are lost, modelling a workstation power failure.
+// The process stays crashed until Attach is called again for a new
+// incarnation.
+func (f *Fabric) Crash(p types.ProcessID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[p] = true
+	delete(f.procs, p)
+}
+
+// Crashed reports whether p has been crashed.
+func (f *Fabric) Crashed(p types.ProcessID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[p]
+}
+
+// SetPartition assigns a process to a partition. Processes in different
+// partitions cannot exchange messages. All processes start in partition 0.
+func (f *Fabric) SetPartition(p types.ProcessID, partition int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions[p] = partition
+}
+
+// HealPartitions returns every process to partition 0.
+func (f *Fabric) HealPartitions() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions = make(map[types.ProcessID]int)
+}
+
+// AddDropRule installs a fault-injection rule and returns a function that
+// removes it.
+func (f *Fabric) AddDropRule(rule DropRule) (remove func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := len(f.dropRules)
+	f.dropRules = append(f.dropRules, rule)
+	return func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if idx < len(f.dropRules) {
+			f.dropRules[idx] = nil
+		}
+	}
+}
+
+// Watch installs a tap invoked (synchronously, under no lock) for every
+// send attempt. Passing nil removes the tap.
+func (f *Fabric) Watch(w func(Packet)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.watcher = w
+}
+
+// Send carries one message from msg.From to msg.To. It never blocks the
+// caller beyond the (optional) latency model: delivery into the destination
+// queue happens either inline (zero latency) or on a timer goroutine.
+func (f *Fabric) Send(msg *types.Message) error {
+	pkt := Packet{From: msg.From, To: msg.To, Msg: msg, Size: msg.WireSize()}
+
+	f.mu.Lock()
+	f.stats.MessagesSent++
+	f.stats.BytesSent += uint64(pkt.Size)
+	f.stats.PerKind[msg.Kind]++
+	f.stats.PerSender[msg.From]++
+	set, ok := f.fanout[msg.From]
+	if !ok {
+		set = make(map[types.ProcessID]struct{})
+		f.fanout[msg.From] = set
+	}
+	set[msg.To] = struct{}{}
+	watcher := f.watcher
+
+	// Destination checks.
+	dst, ok := f.procs[msg.To]
+	crashed := f.crashed[msg.To]
+	partitioned := f.partitions[msg.From] != f.partitions[msg.To]
+	dropped := false
+	var dropErr error
+	switch {
+	case crashed:
+		dropped, dropErr = true, types.ErrCrashed
+	case !ok:
+		dropped, dropErr = true, types.ErrNoSuchProcess
+	case partitioned:
+		dropped, dropErr = true, types.ErrPartitioned
+	case f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate:
+		dropped = true // silent loss: sender gets no error, like UDP on Ethernet
+	}
+	if !dropped {
+		for _, rule := range f.dropRules {
+			if rule != nil && rule(pkt) {
+				dropped = true
+				break
+			}
+		}
+	}
+	var delay time.Duration
+	if !dropped {
+		delay = f.cfg.BaseLatency
+		if f.cfg.Jitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+		}
+	}
+	if dropped {
+		f.stats.MessagesDropped++
+	}
+	f.mu.Unlock()
+
+	if watcher != nil {
+		watcher(pkt)
+	}
+	if dropped {
+		return dropErr
+	}
+
+	deliver := func() {
+		// Clone so the receiver can never observe sender-side mutation.
+		m := msg.Clone()
+		select {
+		case dst.queue <- m:
+			f.mu.Lock()
+			f.stats.MessagesDelivered++
+			f.stats.PerReceiver[msg.To]++
+			f.mu.Unlock()
+		default:
+			f.mu.Lock()
+			f.stats.MessagesDropped++
+			f.mu.Unlock()
+		}
+	}
+	if delay <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(delay, deliver)
+	return nil
+}
+
+// Stats returns a copy of the fabric's counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := Stats{
+		MessagesSent:      f.stats.MessagesSent,
+		MessagesDelivered: f.stats.MessagesDelivered,
+		MessagesDropped:   f.stats.MessagesDropped,
+		BytesSent:         f.stats.BytesSent,
+		PerKind:           make(map[types.Kind]uint64, len(f.stats.PerKind)),
+		PerSender:         make(map[types.ProcessID]uint64, len(f.stats.PerSender)),
+		PerReceiver:       make(map[types.ProcessID]uint64, len(f.stats.PerReceiver)),
+	}
+	for k, v := range f.stats.PerKind {
+		out.PerKind[k] = v
+	}
+	for k, v := range f.stats.PerSender {
+		out.PerSender[k] = v
+	}
+	for k, v := range f.stats.PerReceiver {
+		out.PerReceiver[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes all counters. Experiments call it between phases so the
+// reported numbers cover only the measured interval.
+func (f *Fabric) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = Stats{
+		PerKind:     make(map[types.Kind]uint64),
+		PerSender:   make(map[types.ProcessID]uint64),
+		PerReceiver: make(map[types.ProcessID]uint64),
+	}
+	f.fanout = make(map[types.ProcessID]map[types.ProcessID]struct{})
+}
+
+// Processes returns the ids of all attached (non-crashed) processes.
+func (f *Fabric) Processes() []types.ProcessID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]types.ProcessID, 0, len(f.procs))
+	for p := range f.procs {
+		out = append(out, p)
+	}
+	return types.SortProcesses(out)
+}
+
+// DistinctReceivers returns how many different processes received at least
+// one message since the last ResetStats. Experiment E3 uses it to count how
+// many processes were disturbed by a membership change.
+func (f *Fabric) DistinctReceivers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.stats.PerReceiver)
+}
+
+// DistinctSenders returns how many different processes sent at least one
+// message since the last ResetStats.
+func (f *Fabric) DistinctSenders() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.stats.PerSender)
+}
+
+// MaxFanout returns the largest number of distinct destinations any single
+// process sent to since the last ResetStats — the quantity the paper's
+// fanout parameter bounds.
+func (f *Fabric) MaxFanout() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	max := 0
+	for _, set := range f.fanout {
+		if len(set) > max {
+			max = len(set)
+		}
+	}
+	return max
+}
+
+// FanoutOf returns the number of distinct destinations a particular process
+// sent to since the last ResetStats.
+func (f *Fabric) FanoutOf(p types.ProcessID) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.fanout[p])
+}

@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+func msg(from, to types.ProcessID, kind types.Kind) *types.Message {
+	return &types.Message{Kind: kind, From: from, To: to, Payload: []byte("payload")}
+}
+
+func recvOne(t *testing.T, ch <-chan *types.Message) *types.Message {
+	t.Helper()
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a message")
+		return nil
+	}
+}
+
+func TestAttachSendDeliver(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	if _, err := f.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	chB, err := f.Attach(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(msg(a, b, types.KindCast)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvOne(t, chB)
+	if got.From != a || got.Kind != types.KindCast {
+		t.Errorf("delivered %v", got)
+	}
+	st := f.Stats()
+	if st.MessagesSent != 1 || st.MessagesDelivered != 1 || st.MessagesDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PerKind[types.KindCast] != 1 {
+		t.Errorf("per-kind = %v", st.PerKind)
+	}
+	if st.BytesSent == 0 {
+		t.Error("BytesSent not accounted")
+	}
+}
+
+func TestDoubleAttachRejected(t *testing.T) {
+	f := New(DefaultConfig())
+	a := pid(1)
+	if _, err := f.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(a); !errors.Is(err, types.ErrRejected) {
+		t.Errorf("second Attach err = %v, want ErrRejected", err)
+	}
+}
+
+func TestSendToUnknownAndCrashed(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	if _, err := f.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(msg(a, b, types.KindCast)); !errors.Is(err, types.ErrNoSuchProcess) {
+		t.Errorf("unknown dest err = %v", err)
+	}
+	if _, err := f.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash(b)
+	if !f.Crashed(b) {
+		t.Error("Crashed(b) = false after Crash")
+	}
+	if err := f.Send(msg(a, b, types.KindCast)); !errors.Is(err, types.ErrCrashed) {
+		t.Errorf("crashed dest err = %v", err)
+	}
+	st := f.Stats()
+	if st.MessagesDropped != 2 {
+		t.Errorf("MessagesDropped = %d, want 2", st.MessagesDropped)
+	}
+}
+
+func TestPartitionBlocksTrafficAndHeals(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	f.SetPartition(b, 1)
+	if err := f.Send(msg(a, b, types.KindCast)); !errors.Is(err, types.ErrPartitioned) {
+		t.Errorf("partitioned err = %v", err)
+	}
+	f.HealPartitions()
+	if err := f.Send(msg(a, b, types.KindCast)); err != nil {
+		t.Errorf("after heal: %v", err)
+	}
+	recvOne(t, chB)
+}
+
+func TestLossRateDropsSilently(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossRate = 1.0
+	f := New(cfg)
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	if err := f.Send(msg(a, b, types.KindCast)); err != nil {
+		t.Errorf("lossy send returned error %v (should be silent like UDP)", err)
+	}
+	select {
+	case m := <-chB:
+		t.Errorf("message delivered despite 100%% loss: %v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if st := f.Stats(); st.MessagesDropped != 1 {
+		t.Errorf("MessagesDropped = %d", st.MessagesDropped)
+	}
+}
+
+func TestDropRuleAndRemoval(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	remove := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindViewInstall })
+
+	_ = f.Send(msg(a, b, types.KindViewInstall))
+	select {
+	case <-chB:
+		t.Fatal("drop rule did not drop the message")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	remove()
+	_ = f.Send(msg(a, b, types.KindViewInstall))
+	recvOne(t, chB)
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BaseLatency = 30 * time.Millisecond
+	f := New(cfg)
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	start := time.Now()
+	_ = f.Send(msg(a, b, types.KindCast))
+	recvOne(t, chB)
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("delivery took %v, expected ~30ms latency", elapsed)
+	}
+}
+
+func TestCloneOnDeliver(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	m := msg(a, b, types.KindCast)
+	_ = f.Send(m)
+	got := recvOne(t, chB)
+	got.Payload[0] = 'X'
+	if m.Payload[0] == 'X' {
+		t.Error("receiver mutation visible to sender: fabric did not clone")
+	}
+}
+
+func TestFanoutAndDistinctCounters(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b, c := pid(1), pid(2), pid(3)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	chC, _ := f.Attach(c)
+	_ = f.Send(msg(a, b, types.KindCast))
+	_ = f.Send(msg(a, c, types.KindCast))
+	_ = f.Send(msg(a, c, types.KindCast))
+	recvOne(t, chB)
+	recvOne(t, chC)
+	recvOne(t, chC)
+
+	if got := f.MaxFanout(); got != 2 {
+		t.Errorf("MaxFanout = %d, want 2", got)
+	}
+	if got := f.FanoutOf(a); got != 2 {
+		t.Errorf("FanoutOf(a) = %d, want 2", got)
+	}
+	if got := f.FanoutOf(b); got != 0 {
+		t.Errorf("FanoutOf(b) = %d, want 0", got)
+	}
+	if got := f.DistinctReceivers(); got != 2 {
+		t.Errorf("DistinctReceivers = %d, want 2", got)
+	}
+	if got := f.DistinctSenders(); got != 1 {
+		t.Errorf("DistinctSenders = %d, want 1", got)
+	}
+	f.ResetStats()
+	if f.MaxFanout() != 0 || f.DistinctReceivers() != 0 {
+		t.Error("ResetStats did not clear fanout/receiver tracking")
+	}
+}
+
+func TestWatchTapSeesEveryAttempt(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	_, _ = f.Attach(b)
+	var seen []Packet
+	f.Watch(func(p Packet) { seen = append(seen, p) })
+	_ = f.Send(msg(a, b, types.KindCast))
+	f.Crash(b)
+	_ = f.Send(msg(a, b, types.KindCast)) // dropped, but still observed
+	if len(seen) != 2 {
+		t.Errorf("watcher saw %d packets, want 2", len(seen))
+	}
+	f.Watch(nil)
+	_, _ = f.Attach(b)
+	_ = f.Send(msg(a, b, types.KindCast))
+	if len(seen) != 2 {
+		t.Error("watcher still invoked after removal")
+	}
+}
+
+func TestProcessesSorted(t *testing.T) {
+	f := New(DefaultConfig())
+	_, _ = f.Attach(pid(3))
+	_, _ = f.Attach(pid(1))
+	_, _ = f.Attach(pid(2))
+	ps := f.Processes()
+	if len(ps) != 3 || ps[0] != pid(1) || ps[2] != pid(3) {
+		t.Errorf("Processes = %v", ps)
+	}
+	f.Detach(pid(2))
+	if len(f.Processes()) != 2 {
+		t.Error("Detach did not remove the process")
+	}
+}
+
+func TestQueueOverflowCountsAsDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueLen = 1
+	f := New(cfg)
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	_ = f.Send(msg(a, b, types.KindCast))
+	_ = f.Send(msg(a, b, types.KindCast)) // overflows queue of length 1
+	st := f.Stats()
+	if st.MessagesDropped != 1 {
+		t.Errorf("MessagesDropped = %d, want 1 (queue overflow)", st.MessagesDropped)
+	}
+	recvOne(t, chB)
+}

@@ -1,0 +1,324 @@
+// Package node implements the per-process runtime every protocol layer runs
+// on: an actor-style event loop that owns all protocol state for one
+// simulated workstation process.
+//
+// # Concurrency model
+//
+// Each Node runs exactly one actor goroutine. Inbound messages, timer
+// expirations and posted closures are all executed on that goroutine, so
+// protocol handlers never need locks and never race with each other.
+// Handlers must not block; blocking convenience calls (Request, and the
+// group layer's Join/Cast helpers) are issued from application goroutines
+// and park on channels that the actor goroutine signals.
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Handler processes one inbound message. It runs on the node's actor
+// goroutine and must not block.
+type Handler func(*types.Message)
+
+// Node hosts one process.
+type Node struct {
+	pid types.ProcessID
+	ep  transport.Endpoint
+
+	handlersMu sync.RWMutex
+	handlers   map[types.Kind]Handler
+	defaultH   Handler
+
+	actions chan func()
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	started atomic.Bool
+	corr    atomic.Uint64
+	waiters sync.Map // corr(uint64) -> chan *types.Message
+
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+}
+
+// New attaches a new node for pid to the network and returns it. The node
+// does not process messages until Start is called, giving callers a window
+// to register handlers.
+func New(pid types.ProcessID, network transport.Network) (*Node, error) {
+	ep, err := network.Attach(pid)
+	if err != nil {
+		return nil, fmt.Errorf("node %v: %w", pid, err)
+	}
+	return &Node{
+		pid:      pid,
+		ep:       ep,
+		handlers: make(map[types.Kind]Handler),
+		actions:  make(chan func(), 1024),
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		timers:   make(map[*time.Timer]struct{}),
+	}, nil
+}
+
+// PID returns the process id hosted by this node.
+func (n *Node) PID() types.ProcessID { return n.pid }
+
+// Endpoint exposes the underlying transport endpoint (used by tests and the
+// TCP daemon to learn listen addresses).
+func (n *Node) Endpoint() transport.Endpoint { return n.ep }
+
+// Handle registers the handler for a message kind. Registering nil removes
+// the handler. Handlers may be registered before or after Start.
+func (n *Node) Handle(kind types.Kind, h Handler) {
+	n.handlersMu.Lock()
+	defer n.handlersMu.Unlock()
+	if h == nil {
+		delete(n.handlers, kind)
+		return
+	}
+	n.handlers[kind] = h
+}
+
+// HandleDefault registers a catch-all handler for kinds without a specific
+// handler.
+func (n *Node) HandleDefault(h Handler) {
+	n.handlersMu.Lock()
+	defer n.handlersMu.Unlock()
+	n.defaultH = h
+}
+
+// Start launches the actor loop. Calling Start more than once is a no-op.
+func (n *Node) Start() {
+	if n.started.CompareAndSwap(false, true) {
+		go n.loop()
+	}
+}
+
+// Stop shuts the node down: the actor loop exits, outstanding timers are
+// cancelled and the transport endpoint is closed. Stop is idempotent.
+func (n *Node) Stop() {
+	n.once.Do(func() {
+		close(n.stop)
+		if n.started.Load() {
+			<-n.stopped
+		}
+		n.timerMu.Lock()
+		for t := range n.timers {
+			t.Stop()
+		}
+		n.timers = map[*time.Timer]struct{}{}
+		n.timerMu.Unlock()
+		_ = n.ep.Close()
+		// Unblock any waiters so callers do not hang on a dead node.
+		n.waiters.Range(func(k, v any) bool {
+			n.waiters.Delete(k)
+			return true
+		})
+	})
+}
+
+func (n *Node) loop() {
+	defer close(n.stopped)
+	inbox := n.ep.Inbox()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case fn := <-n.actions:
+			fn()
+		case msg, ok := <-inbox:
+			if !ok {
+				return
+			}
+			n.dispatch(msg)
+		}
+	}
+}
+
+func (n *Node) dispatch(msg *types.Message) {
+	// Replies are routed to the waiter registered by Request; everything
+	// else goes through the handler table.
+	if msg.Kind == types.KindReply {
+		if ch, ok := n.waiters.Load(msg.Corr); ok {
+			n.waiters.Delete(msg.Corr)
+			select {
+			case ch.(chan *types.Message) <- msg:
+			default:
+			}
+			return
+		}
+		// A late reply after the waiter timed out: fall through to the
+		// handler table so protocols can observe it if they care.
+	}
+	n.handlersMu.RLock()
+	h := n.handlers[msg.Kind]
+	if h == nil {
+		h = n.defaultH
+	}
+	n.handlersMu.RUnlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+// Do posts fn for execution on the actor goroutine and returns immediately.
+// It is the mechanism application goroutines use to touch protocol state.
+func (n *Node) Do(fn func()) {
+	select {
+	case n.actions <- fn:
+	case <-n.stop:
+	}
+}
+
+// Call posts fn to the actor goroutine and waits for it to finish. It
+// returns ErrStopped if the node stops before fn runs. Call must not be
+// invoked from the actor goroutine itself.
+func (n *Node) Call(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case n.actions <- func() { fn(); close(done) }:
+	case <-n.stop:
+		return types.ErrStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.stop:
+		return types.ErrStopped
+	}
+}
+
+// Send fills in the sender and transmits msg. It may be called from any
+// goroutine, including handlers.
+func (n *Node) Send(to types.ProcessID, msg *types.Message) error {
+	msg.From = n.pid
+	msg.To = to
+	return n.ep.Send(msg)
+}
+
+// SendCopies sends an independent clone of the template to every listed
+// destination (skipping the node itself) and returns the number sent.
+func (n *Node) SendCopies(dests []types.ProcessID, template *types.Message) int {
+	sent := 0
+	for _, d := range dests {
+		if d == n.pid {
+			continue
+		}
+		m := template.Clone()
+		if err := n.Send(d, m); err == nil {
+			sent++
+		}
+	}
+	return sent
+}
+
+// NextCorr returns a correlation id unique within this process.
+func (n *Node) NextCorr() uint64 { return n.corr.Add(1) }
+
+// Request sends msg to the destination and waits for a KindReply carrying
+// the same correlation id. It must not be called from the actor goroutine.
+func (n *Node) Request(ctx context.Context, to types.ProcessID, msg *types.Message) (*types.Message, error) {
+	corr := n.NextCorr()
+	msg.Corr = corr
+	msg.ReplyTo = n.pid
+	ch := make(chan *types.Message, 1)
+	n.waiters.Store(corr, ch)
+	defer n.waiters.Delete(corr)
+
+	if err := n.Send(to, msg); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			return reply, fmt.Errorf("%s: %w", reply.Err, types.ErrRejected)
+		}
+		return reply, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("request %s to %v: %w", msg.Kind, to, types.ErrTimeout)
+	case <-n.stop:
+		return nil, types.ErrStopped
+	}
+}
+
+// Reply sends a KindReply answering req back to its originator, copying the
+// correlation id. An empty errStr indicates success.
+func (n *Node) Reply(req *types.Message, payload []byte, errStr string) error {
+	to := req.ReplyTo
+	if to.IsNil() {
+		to = req.From
+	}
+	return n.Send(to, &types.Message{
+		Kind:    types.KindReply,
+		Corr:    req.Corr,
+		Group:   req.Group,
+		Payload: payload,
+		Err:     errStr,
+	})
+}
+
+// After schedules fn to run on the actor goroutine after d. The returned
+// cancel function stops the timer if it has not fired.
+func (n *Node) After(d time.Duration, fn func()) (cancel func()) {
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		n.timerMu.Lock()
+		delete(n.timers, t)
+		n.timerMu.Unlock()
+		n.Do(fn)
+	})
+	n.timerMu.Lock()
+	n.timers[t] = struct{}{}
+	n.timerMu.Unlock()
+	return func() {
+		t.Stop()
+		n.timerMu.Lock()
+		delete(n.timers, t)
+		n.timerMu.Unlock()
+	}
+}
+
+// Every schedules fn to run on the actor goroutine every interval until the
+// returned cancel function is called or the node stops.
+func (n *Node) Every(interval time.Duration, fn func()) (cancel func()) {
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancelFn := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				n.Do(fn)
+			case <-stop:
+				return
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+	return cancelFn
+}
+
+// Stopped reports whether the node has been stopped.
+func (n *Node) Stopped() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// StopC returns a channel closed when the node stops; protocol layers select
+// on it from their own helper goroutines.
+func (n *Node) StopC() <-chan struct{} { return n.stop }

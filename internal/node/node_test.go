@@ -1,0 +1,283 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+func newPair(t *testing.T) (*Node, *Node, *netsim.Fabric) {
+	t.Helper()
+	fabric := netsim.New(netsim.DefaultConfig())
+	net := transport.NewMemory(fabric)
+	a, err := New(pid(1), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(pid(2), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Stop(); b.Stop() })
+	return a, b, fabric
+}
+
+func TestHandlerDispatch(t *testing.T) {
+	a, b, _ := newPair(t)
+	got := make(chan *types.Message, 1)
+	b.Handle(types.KindCast, func(m *types.Message) { got <- m })
+	a.Start()
+	b.Start()
+
+	if err := a.Send(b.PID(), &types.Message{Kind: types.KindCast, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.From != a.PID() {
+			t.Errorf("From = %v", m.From)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler not invoked")
+	}
+}
+
+func TestDefaultHandler(t *testing.T) {
+	a, b, _ := newPair(t)
+	got := make(chan types.Kind, 1)
+	b.HandleDefault(func(m *types.Message) { got <- m.Kind })
+	a.Start()
+	b.Start()
+	_ = a.Send(b.PID(), &types.Message{Kind: types.KindHeartbeat})
+	select {
+	case k := <-got:
+		if k != types.KindHeartbeat {
+			t.Errorf("kind = %v", k)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("default handler not invoked")
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	a, b, _ := newPair(t)
+	b.Handle(types.KindRequest, func(m *types.Message) {
+		_ = b.Reply(m, append([]byte("echo:"), m.Payload...), "")
+	})
+	a.Start()
+	b.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	reply, err := a.Request(ctx, b.PID(), &types.Message{Kind: types.KindRequest, Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != "echo:hi" {
+		t.Errorf("payload = %q", reply.Payload)
+	}
+}
+
+func TestRequestErrorReply(t *testing.T) {
+	a, b, _ := newPair(t)
+	b.Handle(types.KindRequest, func(m *types.Message) {
+		_ = b.Reply(m, nil, "no such thing")
+	})
+	a.Start()
+	b.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Request(ctx, b.PID(), &types.Message{Kind: types.KindRequest})
+	if !errors.Is(err, types.ErrRejected) {
+		t.Errorf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestRequestTimesOutWhenPeerSilent(t *testing.T) {
+	a, b, _ := newPair(t)
+	b.Handle(types.KindRequest, func(m *types.Message) { /* never reply */ })
+	a.Start()
+	b.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := a.Request(ctx, b.PID(), &types.Message{Kind: types.KindRequest})
+	if !errors.Is(err, types.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRequestToCrashedProcess(t *testing.T) {
+	a, b, fabric := newPair(t)
+	a.Start()
+	b.Start()
+	fabric.Crash(b.PID())
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := a.Request(ctx, b.PID(), &types.Message{Kind: types.KindRequest})
+	if !errors.Is(err, types.ErrCrashed) {
+		t.Errorf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestDoAndCallRunOnActor(t *testing.T) {
+	a, _, _ := newPair(t)
+	a.Start()
+	var counter int
+	for i := 0; i < 100; i++ {
+		a.Do(func() { counter++ })
+	}
+	if err := a.Call(func() { counter++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Call serialises after the earlier Dos, so counter must be exactly 101
+	// if everything ran on one goroutine.
+	var got int
+	if err := a.Call(func() { got = counter }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 101 {
+		t.Errorf("counter = %d, want 101", got)
+	}
+}
+
+func TestCallAfterStop(t *testing.T) {
+	a, _, _ := newPair(t)
+	a.Start()
+	a.Stop()
+	if err := a.Call(func() {}); !errors.Is(err, types.ErrStopped) {
+		t.Errorf("Call after Stop = %v, want ErrStopped", err)
+	}
+	if !a.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestStopBeforeStartDoesNotHang(t *testing.T) {
+	fabric := netsim.New(netsim.DefaultConfig())
+	net := transport.NewMemory(fabric)
+	n, err := New(pid(9), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { n.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop before Start hangs")
+	}
+}
+
+func TestAfterAndCancel(t *testing.T) {
+	a, _, _ := newPair(t)
+	a.Start()
+	fired := make(chan struct{}, 1)
+	a.After(20*time.Millisecond, func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After callback did not fire")
+	}
+
+	cancel := a.After(30*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	cancel()
+	time.Sleep(80 * time.Millisecond)
+}
+
+func TestEvery(t *testing.T) {
+	a, _, _ := newPair(t)
+	a.Start()
+	var ticks atomic.Int32
+	cancel := a.Every(10*time.Millisecond, func() { ticks.Add(1) })
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	n := ticks.Load()
+	if n < 3 {
+		t.Errorf("ticks = %d, want >= 3", n)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if ticks.Load() > n+1 {
+		t.Error("ticker kept firing after cancel")
+	}
+}
+
+func TestSendCopiesSkipsSelf(t *testing.T) {
+	a, b, fabric := newPair(t)
+	net := transport.NewMemory(fabric)
+	c, err := New(pid(3), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	a.Start()
+	b.Start()
+	c.Start()
+
+	var delivered atomic.Int32
+	h := func(*types.Message) { delivered.Add(1) }
+	b.Handle(types.KindCast, h)
+	c.Handle(types.KindCast, h)
+	a.Handle(types.KindCast, func(*types.Message) { t.Error("self received its own copy") })
+
+	sent := a.SendCopies([]types.ProcessID{a.PID(), b.PID(), c.PID()}, &types.Message{Kind: types.KindCast})
+	if sent != 2 {
+		t.Errorf("sent = %d, want 2", sent)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for delivered.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if delivered.Load() != 2 {
+		t.Errorf("delivered = %d, want 2", delivered.Load())
+	}
+}
+
+func TestReplyGoesToReplyTo(t *testing.T) {
+	a, b, fabric := newPair(t)
+	net := transport.NewMemory(fabric)
+	c, err := New(pid(3), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	got := make(chan *types.Message, 1)
+	c.Handle(types.KindReply, func(m *types.Message) { got <- m })
+	b.Handle(types.KindRequest, func(m *types.Message) { _ = b.Reply(m, []byte("r"), "") })
+	a.Start()
+	b.Start()
+	c.Start()
+
+	// a sends a request whose reply should be routed to c.
+	msg := &types.Message{Kind: types.KindRequest, Corr: 42, ReplyTo: c.PID()}
+	if err := a.Send(b.PID(), msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Corr != 42 {
+			t.Errorf("Corr = %d", m.Corr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not delivered to ReplyTo process")
+	}
+}
+
+func TestNextCorrUnique(t *testing.T) {
+	a, _, _ := newPair(t)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		c := a.NextCorr()
+		if seen[c] {
+			t.Fatalf("duplicate corr %d", c)
+		}
+		seen[c] = true
+	}
+}

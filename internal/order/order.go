@@ -1,0 +1,304 @@
+// Package order implements the delivery-ordering engines behind the ISIS
+// broadcast primitives: FBCAST (FIFO), CBCAST (causal) and ABCAST (total
+// order). The engines are pure state machines — they hold back messages
+// until the ordering rule allows delivery and return the messages that
+// became deliverable — so they can be unit- and property-tested without any
+// networking, and the group layer simply feeds them inbound messages.
+//
+// All engines are per-group and per-view: the group layer creates fresh
+// engines when a new view is installed (the view-change flush guarantees
+// nothing from the previous view is still outstanding).
+package order
+
+import (
+	"sort"
+
+	"repro/internal/types"
+	"repro/internal/vclock"
+)
+
+// Engine is the interface shared by the three ordering engines.
+type Engine interface {
+	// Add offers an inbound cast to the engine and returns the messages
+	// (possibly including earlier held-back ones) that are now deliverable,
+	// in delivery order.
+	Add(msg *types.Message) []*types.Message
+	// Pending returns how many messages are currently held back.
+	Pending() int
+}
+
+// --- FBCAST -----------------------------------------------------------------
+
+// FIFO delivers messages from each sender in the order they were sent.
+// Messages carry a per-sender sequence number in msg.ID.Seq starting at 1
+// within the view.
+type FIFO struct {
+	next map[types.ProcessID]uint64 // next expected seq per sender
+	hold map[types.ProcessID]map[uint64]*types.Message
+}
+
+// NewFIFO returns an empty FBCAST engine.
+func NewFIFO() *FIFO {
+	return &FIFO{
+		next: make(map[types.ProcessID]uint64),
+		hold: make(map[types.ProcessID]map[uint64]*types.Message),
+	}
+}
+
+// Add implements Engine.
+func (f *FIFO) Add(msg *types.Message) []*types.Message {
+	sender := msg.ID.Sender
+	if f.next[sender] == 0 {
+		f.next[sender] = 1
+	}
+	seq := msg.ID.Seq
+	if seq < f.next[sender] {
+		return nil // duplicate or stale
+	}
+	if f.hold[sender] == nil {
+		f.hold[sender] = make(map[uint64]*types.Message)
+	}
+	f.hold[sender][seq] = msg
+
+	var out []*types.Message
+	for {
+		m, ok := f.hold[sender][f.next[sender]]
+		if !ok {
+			break
+		}
+		delete(f.hold[sender], f.next[sender])
+		f.next[sender]++
+		out = append(out, m)
+	}
+	return out
+}
+
+// Pending implements Engine.
+func (f *FIFO) Pending() int {
+	n := 0
+	for _, m := range f.hold {
+		n += len(m)
+	}
+	return n
+}
+
+// NextFrom returns the next expected sequence number from a sender (1 if
+// nothing has been delivered yet). The membership flush uses it to describe
+// how much of each sender's traffic this process has seen.
+func (f *FIFO) NextFrom(p types.ProcessID) uint64 {
+	if n := f.next[p]; n > 0 {
+		return n
+	}
+	return 1
+}
+
+// --- CBCAST -----------------------------------------------------------------
+
+// Causal delivers messages respecting potential causality, using vector
+// timestamps indexed by member rank within the view.
+type Causal struct {
+	ranks map[types.ProcessID]int // member -> rank in the view
+	local vclock.VC               // delivered counts per rank
+	hold  []*types.Message
+}
+
+// NewCausal returns a CBCAST engine for a view whose members (in rank
+// order) are given.
+func NewCausal(members []types.ProcessID) *Causal {
+	ranks := make(map[types.ProcessID]int, len(members))
+	for i, m := range members {
+		ranks[m] = i
+	}
+	return &Causal{ranks: ranks, local: vclock.New(len(members))}
+}
+
+// Clock returns a copy of the engine's delivered-clock. The group layer
+// stamps outgoing casts with it (after ticking the sender's own entry).
+func (c *Causal) Clock() vclock.VC { return c.local.Copy() }
+
+// Rank returns the rank of a member in this view, or -1.
+func (c *Causal) Rank(p types.ProcessID) int {
+	if r, ok := c.ranks[p]; ok {
+		return r
+	}
+	return -1
+}
+
+// Add implements Engine.
+func (c *Causal) Add(msg *types.Message) []*types.Message {
+	c.hold = append(c.hold, msg)
+	var out []*types.Message
+	for {
+		progressed := false
+		for i, m := range c.hold {
+			if m == nil {
+				continue
+			}
+			rank := c.Rank(m.ID.Sender)
+			if rank < 0 {
+				// Sender unknown in this view (should not happen after a
+				// correct flush); drop it rather than wedging the queue.
+				c.hold[i] = nil
+				progressed = true
+				continue
+			}
+			if vclock.Deliverable(vclock.VC(m.VT), rank, c.local) {
+				c.local = c.local.Resize(maxInt(len(c.local), len(m.VT)))
+				c.local[rank] = m.VT[rank]
+				c.local.Merge(vclock.VC(m.VT))
+				out = append(out, m)
+				c.hold[i] = nil
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Compact the holdback slice.
+	compacted := c.hold[:0]
+	for _, m := range c.hold {
+		if m != nil {
+			compacted = append(compacted, m)
+		}
+	}
+	c.hold = compacted
+	return out
+}
+
+// Pending implements Engine.
+func (c *Causal) Pending() int { return len(c.hold) }
+
+// Delivered returns the number of messages delivered from the member with
+// the given rank.
+func (c *Causal) Delivered(rank int) uint64 {
+	if rank < 0 || rank >= len(c.local) {
+		return 0
+	}
+	return c.local[rank]
+}
+
+// --- ABCAST -----------------------------------------------------------------
+
+// Total delivers messages in a single agreed order. A sequencer (the view
+// coordinator in this implementation) assigns consecutive sequence numbers
+// starting at 1; data and order announcements may arrive in any relative
+// order.
+type Total struct {
+	nextSeq uint64                         // next sequence number to deliver
+	byID    map[types.MsgID]*types.Message // data waiting for an order
+	order   map[uint64]types.MsgID         // seq -> message id (from sequencer)
+	ready   map[uint64]*types.Message      // seq -> data, both parts present
+}
+
+// NewTotal returns an ABCAST engine.
+func NewTotal() *Total {
+	return &Total{
+		nextSeq: 1,
+		byID:    make(map[types.MsgID]*types.Message),
+		order:   make(map[uint64]types.MsgID),
+		ready:   make(map[uint64]*types.Message),
+	}
+}
+
+// Add implements Engine for the data part of an ABCAST. If the message
+// already carries its agreed sequence number (msg.Seq != 0, the case when
+// the sequencer itself multicasts), it behaves as AddData+AddOrder.
+func (t *Total) Add(msg *types.Message) []*types.Message {
+	if msg.Seq != 0 {
+		t.byID[msg.ID] = msg
+		return t.AddOrder(msg.Seq, msg.ID)
+	}
+	return t.AddData(msg)
+}
+
+// AddData offers the data part of an ABCAST.
+func (t *Total) AddData(msg *types.Message) []*types.Message {
+	t.byID[msg.ID] = msg
+	// An order announcement may already be waiting for this data.
+	for seq, id := range t.order {
+		if id == msg.ID {
+			t.ready[seq] = msg
+			delete(t.order, seq)
+			delete(t.byID, id)
+			break
+		}
+	}
+	return t.drain()
+}
+
+// AddOrder records the sequencer's order announcement for a message id.
+func (t *Total) AddOrder(seq uint64, id types.MsgID) []*types.Message {
+	if seq < t.nextSeq {
+		return nil // stale announcement
+	}
+	if m, ok := t.byID[id]; ok {
+		t.ready[seq] = m
+		delete(t.byID, id)
+	} else {
+		t.order[seq] = id
+	}
+	return t.drain()
+}
+
+func (t *Total) drain() []*types.Message {
+	var out []*types.Message
+	for {
+		m, ok := t.ready[t.nextSeq]
+		if !ok {
+			break
+		}
+		delete(t.ready, t.nextSeq)
+		m.Seq = t.nextSeq
+		out = append(out, m)
+		t.nextSeq++
+	}
+	return out
+}
+
+// Pending implements Engine.
+func (t *Total) Pending() int { return len(t.byID) + len(t.ready) }
+
+// NextSeq returns the next sequence number the engine expects to deliver.
+func (t *Total) NextSeq() uint64 { return t.nextSeq }
+
+// Sequencer is the sender-side helper used by the view coordinator to assign
+// the agreed order.
+type Sequencer struct {
+	next uint64
+}
+
+// NewSequencer returns a sequencer whose first assignment is 1.
+func NewSequencer() *Sequencer { return &Sequencer{next: 1} }
+
+// Assign returns the next sequence number.
+func (s *Sequencer) Assign() uint64 {
+	n := s.next
+	s.next++
+	return n
+}
+
+// Assigned returns how many sequence numbers have been handed out.
+func (s *Sequencer) Assigned() uint64 { return s.next - 1 }
+
+// --- helpers ----------------------------------------------------------------
+
+// Sorted returns the message ids of a batch sorted by (sender, seq); used by
+// tests to compare delivery orders deterministically.
+func Sorted(ids []types.MsgID) []types.MsgID {
+	out := append([]types.MsgID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sender != out[j].Sender {
+			return out[i].Sender.Less(out[j].Sender)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+// Package reliability implements the analytic availability model behind two
+// of the paper's claims:
+//
+//   - "reliability tends to drop in large systems, because the probability
+//     of component failures rises steadily with the number of components" —
+//     in a flat group where every member participates in every operation,
+//     the chance that some member fails during an operation (forcing a
+//     membership change everyone must process) grows with group size;
+//   - "there is no practical advantage to having more than perhaps five
+//     cohorts for a request" — the probability that all r replicas of a
+//     request fail simultaneously shrinks geometrically in r, so the gain
+//     from each extra cohort vanishes quickly while its cost (an extra
+//     destination for every broadcast) does not.
+//
+// The model is deliberately simple — independent per-process failure
+// probability p over the window of interest — which is exactly the model the
+// paper's qualitative argument uses.
+package reliability
+
+import "math"
+
+// PAnyFailure returns the probability that at least one of n processes fails
+// during the window, given independent per-process failure probability p.
+// This is the probability that an operation involving all n members of a
+// flat group is disrupted by a membership change.
+func PAnyFailure(p float64, n int) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// PAllFail returns the probability that all r processes fail — the
+// probability that a request replicated at r cohorts is lost entirely.
+func PAllFail(p float64, r int) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return math.Pow(p, float64(r))
+}
+
+// RequestAvailability returns the probability that a request survives, i.e.
+// at least one of its r replicas stays up.
+func RequestAvailability(p float64, r int) float64 {
+	return 1 - PAllFail(p, r)
+}
+
+// MarginalGain returns the availability improvement obtained by adding one
+// more cohort to a request already replicated r times. The paper's "no more
+// than perhaps five cohorts" observation is the statement that this gain
+// becomes negligible while the broadcast cost of the extra cohort does not.
+func MarginalGain(p float64, r int) float64 {
+	return RequestAvailability(p, r+1) - RequestAvailability(p, r)
+}
+
+// DisruptionRate returns the expected number of membership changes per
+// window for a group of n processes with per-process failure probability p —
+// the load the flat design imposes on every member and the hierarchical
+// design confines to one leaf.
+func DisruptionRate(p float64, n int) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	return p * float64(n)
+}
+
+// DisruptionWorkFlat returns the expected number of (process × membership
+// event) disturbances per window in a flat group of n members: every one of
+// the p*n expected failures is broadcast to all n members.
+func DisruptionWorkFlat(p float64, n int) float64 {
+	return DisruptionRate(p, n) * float64(n)
+}
+
+// DisruptionWorkHierarchical returns the same quantity for a hierarchical
+// group with the given leaf size and leader-group size: each failure
+// disturbs only its leaf peers plus the leader group.
+func DisruptionWorkHierarchical(p float64, n, leafSize, leaderSize int) float64 {
+	if leafSize <= 0 {
+		leafSize = 1
+	}
+	return DisruptionRate(p, n) * float64(leafSize+leaderSize)
+}
+
+// EffectiveServiceAvailability approximates the probability that a client
+// request completes without being disturbed by a membership change: the
+// request touches `touched` processes, each of which may fail during the
+// request window with probability p.
+func EffectiveServiceAvailability(p float64, touched int) float64 {
+	return 1 - PAnyFailure(p, touched)
+}
+
+// ResiliencyKnee returns the smallest resiliency r for which the marginal
+// availability gain drops below threshold — the point past which adding
+// cohorts stops paying for itself (the paper's "perhaps five").
+func ResiliencyKnee(p float64, threshold float64, maxR int) int {
+	for r := 1; r <= maxR; r++ {
+		if MarginalGain(p, r) < threshold {
+			return r
+		}
+	}
+	return maxR
+}

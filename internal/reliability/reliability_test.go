@@ -1,0 +1,111 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPAnyFailureBasics(t *testing.T) {
+	if PAnyFailure(0.1, 0) != 0 || PAnyFailure(0, 100) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+	if !approx(PAnyFailure(0.1, 1), 0.1) {
+		t.Errorf("single process = %v", PAnyFailure(0.1, 1))
+	}
+	if PAnyFailure(1.0, 3) != 1 {
+		t.Error("certain failure not 1")
+	}
+	// Monotone in n: the paper's "reliability drops as systems grow".
+	prev := 0.0
+	for n := 1; n <= 500; n *= 2 {
+		cur := PAnyFailure(0.01, n)
+		if cur <= prev {
+			t.Fatalf("PAnyFailure not increasing at n=%d: %v <= %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	if PAnyFailure(0.01, 500) < 0.99 {
+		t.Errorf("500 components at 1%% failure should almost surely see a failure: %v", PAnyFailure(0.01, 500))
+	}
+}
+
+func TestRequestAvailabilityAndMarginalGain(t *testing.T) {
+	p := 0.05
+	if !approx(PAllFail(p, 2), 0.0025) {
+		t.Errorf("PAllFail = %v", PAllFail(p, 2))
+	}
+	if PAllFail(p, 0) != 1 || PAllFail(0, 5) != 0 || PAllFail(1, 5) != 1 {
+		t.Error("PAllFail degenerate cases wrong")
+	}
+	// Availability increases with r but with geometrically shrinking gains.
+	prevGain := 1.0
+	for r := 1; r <= 8; r++ {
+		gain := MarginalGain(p, r)
+		if gain <= 0 {
+			t.Fatalf("gain at r=%d not positive", r)
+		}
+		if gain >= prevGain {
+			t.Fatalf("marginal gain not decreasing at r=%d: %v >= %v", r, gain, prevGain)
+		}
+		prevGain = gain
+	}
+	// The knee: beyond ~5 cohorts the gain is negligible for realistic p.
+	knee := ResiliencyKnee(0.05, 1e-6, 20)
+	if knee > 6 {
+		t.Errorf("resiliency knee = %d, paper argues ~5", knee)
+	}
+	if ResiliencyKnee(0.5, 1e-12, 4) != 4 {
+		t.Error("knee must be capped at maxR")
+	}
+}
+
+func TestDisruptionWorkFlatVsHierarchical(t *testing.T) {
+	p := 0.01
+	leaf, leader := 8, 3
+	prevRatio := 0.0
+	for _, n := range []int{16, 64, 256, 512} {
+		flat := DisruptionWorkFlat(p, n)
+		hier := DisruptionWorkHierarchical(p, n, leaf, leader)
+		if flat <= hier {
+			t.Fatalf("n=%d: flat disruption work %v not above hierarchical %v", n, flat, hier)
+		}
+		ratio := flat / hier
+		if ratio <= prevRatio {
+			t.Fatalf("n=%d: flat/hier ratio %v did not grow (prev %v)", n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if DisruptionWorkHierarchical(p, 100, 0, 3) <= 0 {
+		t.Error("leafSize=0 must be tolerated")
+	}
+}
+
+func TestEffectiveServiceAvailabilityShape(t *testing.T) {
+	p := 0.001
+	// A request over a flat 500-member group touches 500 processes; over a
+	// hierarchical leaf it touches ~8. The effective availability must be
+	// visibly better for the hierarchical case.
+	flat := EffectiveServiceAvailability(p, 500)
+	hier := EffectiveServiceAvailability(p, 8)
+	if hier <= flat {
+		t.Errorf("hierarchical availability %v not above flat %v", hier, flat)
+	}
+	if hier < 0.99 {
+		t.Errorf("hierarchical availability unexpectedly low: %v", hier)
+	}
+}
+
+func TestProbabilityBoundsProperty(t *testing.T) {
+	f := func(pRaw uint16, n uint8, r uint8) bool {
+		p := float64(pRaw) / 65535.0
+		a := PAnyFailure(p, int(n))
+		b := RequestAvailability(p, int(r))
+		return a >= 0 && a <= 1 && b >= 0 && b <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,439 @@
+package toolkit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/types"
+)
+
+// --- replicated data ----------------------------------------------------------
+
+// Replicated is the data-replication tool: a key/value table kept identical
+// at every member of a group by applying all updates through totally ordered
+// multicast (ABCAST), so reads can be served locally at any member.
+type Replicated struct {
+	g *group.Group
+
+	mu   sync.Mutex
+	data map[string]string
+}
+
+// NewReplicated creates the replica state for one member. Wire Apply as (or
+// from) the group's OnDeliver callback.
+func NewReplicated(g *group.Group) *Replicated {
+	return &Replicated{g: g, data: make(map[string]string)}
+}
+
+// Apply is the OnDeliver hook: it applies replicated updates in delivery
+// order.
+func (r *Replicated) Apply(d group.Delivery) {
+	if len(d.Payload) == 0 || d.Payload[0] != replTag {
+		return
+	}
+	key, rest, ok := types.DecodeString(d.Payload[1:])
+	if !ok {
+		return
+	}
+	val, _, ok := types.DecodeString(rest)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	r.data[key] = val
+	r.mu.Unlock()
+}
+
+const replTag byte = 0x10
+
+// Set replicates an update to every member and waits for the group's
+// resiliency acknowledgement.
+func (r *Replicated) Set(ctx context.Context, key, value string) error {
+	payload := append([]byte{replTag}, types.EncodeString(nil, key)...)
+	payload = append(payload, types.EncodeString(nil, value)...)
+	return r.g.Cast(ctx, types.Total, payload)
+}
+
+// Get reads the local replica.
+func (r *Replicated) Get(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.data[key]
+	return v, ok
+}
+
+// Snapshot returns a copy of the whole table (used for state transfer to
+// joining members).
+func (r *Replicated) Snapshot() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.data))
+	for k, v := range r.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of keys in the local replica.
+func (r *Replicated) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.data)
+}
+
+// --- distributed mutual exclusion -----------------------------------------------
+
+// Mutex is the distributed mutual exclusion tool. Lock requests are ordered
+// by totally ordered multicast; every member therefore sees the same queue
+// of requests, and a requester holds the lock when its own request reaches
+// the head of the queue. Unlock multicasts a release that pops the head.
+type Mutex struct {
+	g *group.Group
+
+	mu      sync.Mutex
+	queue   []types.ProcessID
+	grants  map[types.ProcessID]chan struct{}
+	holder  types.ProcessID
+	history []types.ProcessID // grant order, for tests
+}
+
+const (
+	mtxTagAcquire byte = 0x20
+	mtxTagRelease byte = 0x21
+)
+
+// NewMutex creates the mutex state for one member. Wire Apply as (or from)
+// the group's OnDeliver callback.
+func NewMutex(g *group.Group) *Mutex {
+	return &Mutex{g: g, grants: make(map[types.ProcessID]chan struct{})}
+}
+
+// Apply is the OnDeliver hook maintaining the replicated request queue.
+func (m *Mutex) Apply(d group.Delivery) {
+	if len(d.Payload) == 0 {
+		return
+	}
+	switch d.Payload[0] {
+	case mtxTagAcquire:
+		m.mu.Lock()
+		m.queue = append(m.queue, d.From)
+		m.promoteLocked()
+		m.mu.Unlock()
+	case mtxTagRelease:
+		m.mu.Lock()
+		if len(m.queue) > 0 && m.queue[0] == d.From {
+			m.queue = m.queue[1:]
+		}
+		m.holder = types.NilProcess
+		m.promoteLocked()
+		m.mu.Unlock()
+	}
+}
+
+func (m *Mutex) promoteLocked() {
+	if len(m.queue) == 0 {
+		return
+	}
+	head := m.queue[0]
+	if m.holder == head {
+		return
+	}
+	m.holder = head
+	m.history = append(m.history, head)
+	if head == m.g.Self() {
+		if ch, ok := m.grants[head]; ok {
+			close(ch)
+			delete(m.grants, head)
+		}
+	}
+}
+
+// Lock acquires the distributed mutex, blocking until this process reaches
+// the head of the replicated queue.
+func (m *Mutex) Lock(ctx context.Context) error {
+	self := m.g.Self()
+	ch := make(chan struct{})
+	m.mu.Lock()
+	m.grants[self] = ch
+	// The grant may already be satisfiable if our request was delivered
+	// before Lock was called again after an Unlock; promote handles it when
+	// the acquire below is delivered.
+	m.mu.Unlock()
+
+	if err := m.g.Cast(ctx, types.Total, []byte{mtxTagAcquire}); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("mutex lock: %w", types.ErrTimeout)
+	}
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(ctx context.Context) error {
+	return m.g.Cast(ctx, types.Total, []byte{mtxTagRelease})
+}
+
+// Holder returns the process this member currently believes holds the lock.
+func (m *Mutex) Holder() types.ProcessID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.holder
+}
+
+// History returns the grant order observed at this member.
+func (m *Mutex) History() []types.ProcessID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return types.CopyProcesses(m.history)
+}
+
+// --- subdivided parallel computation ---------------------------------------------
+
+// Parallel is the subdivided parallel computation tool: a caller scatters
+// work items across the members of a group and gathers the results. Each
+// item is sent point-to-point to one member (round robin), which runs the
+// registered worker function and replies.
+type Parallel struct {
+	g      *group.Group
+	worker func([]byte) []byte
+}
+
+// NewParallel creates the tool for one member, registering worker as the
+// function applied to items assigned to this member. The worker runs on the
+// node's actor goroutine and must not block.
+func NewParallel(g *group.Group, worker func([]byte) []byte) *Parallel {
+	p := &Parallel{g: g, worker: worker}
+	n := g.Stack().Node()
+	n.Handle(types.KindTaskAssign, func(m *types.Message) {
+		if p.worker == nil {
+			_ = n.Reply(m, nil, "no worker registered")
+			return
+		}
+		_ = n.Reply(m, p.worker(m.Payload), "")
+	})
+	return p
+}
+
+// Scatter distributes items across the current members and returns the
+// results in item order.
+func (p *Parallel) Scatter(ctx context.Context, items [][]byte) ([][]byte, error) {
+	members := p.g.CurrentView().Members
+	if len(members) == 0 {
+		return nil, types.ErrNotMember
+	}
+	n := p.g.Stack().Node()
+	results := make([][]byte, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i, item := range items {
+		wg.Add(1)
+		go func(i int, item []byte, dest types.ProcessID) {
+			defer wg.Done()
+			if dest == n.PID() {
+				results[i] = p.worker(item)
+				return
+			}
+			reply, err := n.Request(ctx, dest, &types.Message{
+				Kind:    types.KindTaskAssign,
+				Group:   p.g.ID(),
+				Payload: item,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = reply.Payload
+		}(i, item, members[i%len(members)])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("scatter: %w", err)
+		}
+	}
+	return results, nil
+}
+
+// --- distributed transactions -----------------------------------------------------
+
+// Txn is the distributed transactions tool: a two-phase commit whose
+// participants are the members of a group. The coordinator multicasts a
+// prepare carrying the transaction's writes, collects votes point-to-point,
+// and multicasts the decision; replicas apply committed writes to their
+// Replicated table in delivery order.
+type Txn struct {
+	g    *group.Group
+	repl *Replicated
+
+	// validator can veto a transaction at prepare time (application-level
+	// constraint checking). Nil accepts everything.
+	validator func(writes map[string]string) error
+
+	mu      sync.Mutex
+	pending map[uint64]map[string]string // txn id -> staged writes
+	decided map[uint64]bool              // txn id -> committed?
+}
+
+const (
+	txnTagPrepare byte = 0x30
+	txnTagCommit  byte = 0x31
+	txnTagAbort   byte = 0x32
+)
+
+// NewTxn creates the transaction state for one member over a Replicated
+// table. Wire Apply as (or from) the group's OnDeliver callback; it must be
+// wired on every member.
+func NewTxn(g *group.Group, repl *Replicated, validator func(map[string]string) error) *Txn {
+	t := &Txn{
+		g:         g,
+		repl:      repl,
+		validator: validator,
+		pending:   make(map[uint64]map[string]string),
+		decided:   make(map[uint64]bool),
+	}
+	n := g.Stack().Node()
+	n.Handle(types.KindTxnPrepare, func(m *types.Message) {
+		id, rest, ok := types.DecodeUint64(m.Payload)
+		if !ok {
+			_ = n.Reply(m, nil, "malformed prepare")
+			return
+		}
+		writes, ok := decodeWrites(rest)
+		if !ok {
+			_ = n.Reply(m, nil, "malformed writes")
+			return
+		}
+		if t.validator != nil {
+			if err := t.validator(writes); err != nil {
+				_ = n.Reply(m, nil, err.Error())
+				return
+			}
+		}
+		t.mu.Lock()
+		t.pending[id] = writes
+		t.mu.Unlock()
+		_ = n.Reply(m, nil, "")
+	})
+	return t
+}
+
+// Apply is the OnDeliver hook applying commit/abort decisions.
+func (t *Txn) Apply(d group.Delivery) {
+	if len(d.Payload) == 0 {
+		return
+	}
+	switch d.Payload[0] {
+	case txnTagCommit, txnTagAbort:
+		id, _, ok := types.DecodeUint64(d.Payload[1:])
+		if !ok {
+			return
+		}
+		t.mu.Lock()
+		writes := t.pending[id]
+		delete(t.pending, id)
+		committed := d.Payload[0] == txnTagCommit
+		t.decided[id] = committed
+		t.mu.Unlock()
+		if committed && writes != nil && t.repl != nil {
+			t.repl.mu.Lock()
+			for k, v := range writes {
+				t.repl.data[k] = v
+			}
+			t.repl.mu.Unlock()
+		}
+	}
+}
+
+// Commit runs a two-phase commit for the given writes from this member (the
+// transaction coordinator). It returns ErrAborted if any participant votes
+// no.
+func (t *Txn) Commit(ctx context.Context, writes map[string]string) error {
+	n := t.g.Stack().Node()
+	id := n.NextCorr()
+	payload := append([]byte{txnTagPrepare}, types.EncodeUint64(nil, id)...)
+	payload = append(payload, encodeWrites(writes)...)
+
+	// Phase 1: prepare at every member (point-to-point so each vote comes
+	// back individually), including ourselves via the validator.
+	if t.validator != nil {
+		if err := t.validator(writes); err != nil {
+			return fmt.Errorf("transaction %d: local veto: %w", id, types.ErrAborted)
+		}
+	}
+	t.mu.Lock()
+	t.pending[id] = writes
+	t.mu.Unlock()
+
+	voteErr := error(nil)
+	for _, member := range t.g.CurrentView().Members {
+		if member == n.PID() {
+			continue
+		}
+		if _, err := n.Request(ctx, member, &types.Message{
+			Kind:    types.KindTxnPrepare,
+			Group:   t.g.ID(),
+			Payload: payload[1:],
+		}); err != nil {
+			voteErr = err
+			break
+		}
+	}
+
+	// Phase 2: multicast the decision.
+	decisionTag := txnTagCommit
+	if voteErr != nil {
+		decisionTag = txnTagAbort
+	}
+	decision := append([]byte{decisionTag}, types.EncodeUint64(nil, id)...)
+	if err := t.g.Cast(ctx, types.Total, decision); err != nil {
+		return fmt.Errorf("transaction %d: decision multicast: %w", id, err)
+	}
+	if voteErr != nil {
+		return fmt.Errorf("transaction %d: participant vote: %v: %w", id, voteErr, types.ErrAborted)
+	}
+	return nil
+}
+
+// Decided reports whether a transaction id was decided at this member and
+// whether it committed.
+func (t *Txn) Decided(id uint64) (committed, known bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.decided[id]
+	return c, ok
+}
+
+func encodeWrites(w map[string]string) []byte {
+	b := types.EncodeUint64(nil, uint64(len(w)))
+	for k, v := range w {
+		b = types.EncodeString(b, k)
+		b = types.EncodeString(b, v)
+	}
+	return b
+}
+
+func decodeWrites(b []byte) (map[string]string, bool) {
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		k, b, ok = types.DecodeString(b)
+		if !ok {
+			return nil, false
+		}
+		v, b, ok = types.DecodeString(b)
+		if !ok {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// TCP is a Network implementation over real TCP sockets, used by the
+// isis-node daemon for multi-machine deployments and by the loopback
+// integration tests. Each attached process runs one listener; outbound
+// connections are established lazily per destination and reused.
+//
+// Peer discovery is static: the caller registers the listen address of every
+// peer process with AddPeer (mirroring the static site tables early ISIS
+// used). Messages to unknown peers fail with ErrNoSuchProcess.
+type TCP struct {
+	mu    sync.RWMutex
+	peers map[types.ProcessID]string // pid -> host:port
+}
+
+// NewTCP creates an empty TCP network.
+func NewTCP() *TCP {
+	return &TCP{peers: make(map[types.ProcessID]string)}
+}
+
+// AddPeer registers the listen address of a process.
+func (t *TCP) AddPeer(pid types.ProcessID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[pid] = addr
+}
+
+// PeerAddr returns the registered address of a peer.
+func (t *TCP) PeerAddr(pid types.ProcessID) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.peers[pid]
+	return a, ok
+}
+
+// Attach starts a listener on an ephemeral local port for pid and registers
+// it as a peer. Use AttachAt to control the listen address.
+func (t *TCP) Attach(pid types.ProcessID) (Endpoint, error) {
+	return t.AttachAt(pid, "127.0.0.1:0")
+}
+
+// AttachAt starts a listener on the given address for pid.
+func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		pid:   pid,
+		net:   t,
+		ln:    ln,
+		inbox: make(chan *types.Message, 1024),
+		conns: make(map[types.ProcessID]*tcpConn),
+		done:  make(chan struct{}),
+	}
+	t.AddPeer(pid, ln.Addr().String())
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// wireMessage is the gob-encoded frame. It mirrors types.Message but keeps
+// the wire format independent of internal struct evolution.
+type wireMessage struct {
+	Msg types.Message
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	pid   types.ProcessID
+	net   *TCP
+	ln    net.Listener
+	inbox chan *types.Message
+
+	mu     sync.Mutex
+	conns  map[types.ProcessID]*tcpConn
+	closed bool
+	done   chan struct{}
+}
+
+func (e *tcpEndpoint) PID() types.ProcessID         { return e.pid }
+func (e *tcpEndpoint) Inbox() <-chan *types.Message { return e.inbox }
+
+// Addr returns the endpoint's listen address.
+func (e *tcpEndpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var wm wireMessage
+		if err := dec.Decode(&wm); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down; the peer will reconnect if needed.
+			}
+			return
+		}
+		m := wm.Msg
+		select {
+		case e.inbox <- &m:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(msg *types.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("tcp transport send from %v: %w", e.pid, types.ErrStopped)
+	}
+	c := e.conns[msg.To]
+	e.mu.Unlock()
+
+	if c == nil {
+		addr, ok := e.net.PeerAddr(msg.To)
+		if !ok {
+			return fmt.Errorf("tcp transport send to %v: %w", msg.To, types.ErrNoSuchProcess)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("tcp transport dial %v (%s): %w", msg.To, addr, err)
+		}
+		c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		e.mu.Lock()
+		if existing := e.conns[msg.To]; existing != nil {
+			// Raced with another sender; keep the first connection.
+			e.mu.Unlock()
+			conn.Close()
+			c = existing
+		} else {
+			e.conns[msg.To] = c
+			e.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(wireMessage{Msg: *msg}); err != nil {
+		// Drop the broken connection so the next send redials.
+		e.mu.Lock()
+		if e.conns[msg.To] == c {
+			delete(e.conns, msg.To)
+		}
+		e.mu.Unlock()
+		c.conn.Close()
+		return fmt.Errorf("tcp transport send to %v: %w", msg.To, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	conns := e.conns
+	e.conns = make(map[types.ProcessID]*tcpConn)
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	return err
+}

@@ -1,0 +1,31 @@
+// Package transport abstracts message delivery between processes so the
+// protocol stack runs unchanged over the in-memory simulated network
+// (internal/netsim) and over real TCP connections between isis-node
+// daemons.
+package transport
+
+import (
+	"repro/internal/types"
+)
+
+// Endpoint is one process's attachment to the network. Send is safe for
+// concurrent use; Inbox returns the single inbound channel drained by the
+// process's actor loop.
+type Endpoint interface {
+	// PID returns the process id this endpoint belongs to.
+	PID() types.ProcessID
+	// Send transmits a message. msg.From is filled in by the caller (the
+	// node runtime); msg.To selects the destination.
+	Send(msg *types.Message) error
+	// Inbox is the channel of inbound messages.
+	Inbox() <-chan *types.Message
+	// Close detaches the endpoint. Subsequent Sends fail with ErrStopped.
+	Close() error
+}
+
+// Network creates endpoints. Implementations: Memory (netsim-backed) and
+// TCP (real sockets).
+type Network interface {
+	// Attach creates the endpoint for a process.
+	Attach(pid types.ProcessID) (Endpoint, error)
+}

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
+
+func waitMsg(t *testing.T, ep Endpoint) *types.Message {
+	t.Helper()
+	select {
+	case m := <-ep.Inbox():
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return nil
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	mem := NewMemory(netsim.New(netsim.DefaultConfig()))
+	a, err := mem.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mem.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PID() != pid(1) {
+		t.Errorf("PID = %v", a.PID())
+	}
+	msg := &types.Message{Kind: types.KindRequest, From: pid(1), To: pid(2), Payload: []byte("hi")}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := waitMsg(t, b)
+	if string(got.Payload) != "hi" || got.Kind != types.KindRequest {
+		t.Errorf("got %v", got)
+	}
+	if mem.Fabric().Stats().MessagesSent != 1 {
+		t.Error("fabric accounting missing for memory transport")
+	}
+}
+
+func TestMemoryClosedEndpointRejectsSend(t *testing.T) {
+	mem := NewMemory(netsim.New(netsim.DefaultConfig()))
+	a, _ := mem.Attach(pid(1))
+	_, _ = mem.Attach(pid(2))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	err := a.Send(&types.Message{From: pid(1), To: pid(2)})
+	if !errors.Is(err, types.ErrStopped) {
+		t.Errorf("send after close err = %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tn := NewTCP()
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	msg := &types.Message{
+		Kind:    types.KindCast,
+		From:    pid(1),
+		To:      pid(2),
+		Group:   types.LeafGroup("svc", 1),
+		VT:      []uint64{1, 2},
+		Payload: []byte("over tcp"),
+	}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := waitMsg(t, b)
+	if string(got.Payload) != "over tcp" || !got.Group.Equal(types.LeafGroup("svc", 1)) || len(got.VT) != 2 {
+		t.Errorf("got %+v", got)
+	}
+
+	// And the reverse direction (exercises dialing back).
+	if err := b.Send(&types.Message{Kind: types.KindReply, From: pid(2), To: pid(1), Payload: []byte("ack")}); err != nil {
+		t.Fatal(err)
+	}
+	back := waitMsg(t, a)
+	if back.Kind != types.KindReply {
+		t.Errorf("reverse message %v", back)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	tn := NewTCP()
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	err = a.Send(&types.Message{From: pid(1), To: pid(99)})
+	if !errors.Is(err, types.ErrNoSuchProcess) {
+		t.Errorf("err = %v, want ErrNoSuchProcess", err)
+	}
+}
+
+func TestTCPManyMessagesSingleConnection(t *testing.T) {
+	tn := NewTCP()
+	a, _ := tn.Attach(pid(1))
+	defer a.Close()
+	b, _ := tn.Attach(pid(2))
+	defer b.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		m := &types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: uint64(i)}
+		if err := a.Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := waitMsg(t, b)
+		if got.Seq != uint64(i) {
+			t.Fatalf("message %d arrived out of order (seq %d): TCP stream must be FIFO", i, got.Seq)
+		}
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	tn := NewTCP()
+	a, _ := tn.Attach(pid(1))
+	b, _ := tn.Attach(pid(2))
+	defer b.Close()
+	_ = a.Close()
+	err := a.Send(&types.Message{From: pid(1), To: pid(2)})
+	if !errors.Is(err, types.ErrStopped) {
+		t.Errorf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestTCPAttachAtFixedAddress(t *testing.T) {
+	tn := NewTCP()
+	ep, err := tn.AttachAt(pid(7), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	addr, ok := tn.PeerAddr(pid(7))
+	if !ok || addr == "" {
+		t.Errorf("PeerAddr = %q, %v", addr, ok)
+	}
+}

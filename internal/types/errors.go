@@ -1,0 +1,56 @@
+package types
+
+import "errors"
+
+// Error taxonomy shared across the stack. Protocol layers wrap these with
+// fmt.Errorf("...: %w", Err...) so callers can test with errors.Is.
+var (
+	// ErrStopped is returned when an operation is attempted on a process,
+	// group or runtime that has been shut down.
+	ErrStopped = errors.New("isis: stopped")
+
+	// ErrTimeout is returned when a protocol round does not complete within
+	// its deadline (for example a request to a crashed coordinator before
+	// the failure detector notices).
+	ErrTimeout = errors.New("isis: timeout")
+
+	// ErrNotMember is returned when a process attempts a group operation on
+	// a group it does not belong to (or no longer belongs to).
+	ErrNotMember = errors.New("isis: not a member of group")
+
+	// ErrNoSuchGroup is returned by the name service and routing layers when
+	// a group name cannot be resolved.
+	ErrNoSuchGroup = errors.New("isis: no such group")
+
+	// ErrNoSuchProcess is returned by transports when the destination
+	// process is unknown (never created, or its site was removed).
+	ErrNoSuchProcess = errors.New("isis: no such process")
+
+	// ErrPartitioned is returned by the simulated fabric when the sender and
+	// receiver are in different network partitions.
+	ErrPartitioned = errors.New("isis: network partitioned")
+
+	// ErrCrashed is returned when the destination process has crashed.
+	ErrCrashed = errors.New("isis: process crashed")
+
+	// ErrViewChanged is returned when an operation was interrupted by a view
+	// change and must be retried in the new view.
+	ErrViewChanged = errors.New("isis: view changed")
+
+	// ErrTooFewMembers is returned when a group cannot satisfy its
+	// resiliency requirement (for example fewer live members than the
+	// requested number of acknowledgements).
+	ErrTooFewMembers = errors.New("isis: too few members for requested resiliency")
+
+	// ErrBadConfig is returned for invalid configuration (fanout < resiliency,
+	// zero sizes, and so on).
+	ErrBadConfig = errors.New("isis: invalid configuration")
+
+	// ErrRejected is returned when a coordinator or leader refuses an
+	// operation (duplicate join, unknown subgroup, stale view, ...).
+	ErrRejected = errors.New("isis: rejected")
+
+	// ErrAborted is returned by the transaction tool when a transaction is
+	// rolled back.
+	ErrAborted = errors.New("isis: transaction aborted")
+)

@@ -1,0 +1,255 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind enumerates the protocol-level message kinds exchanged between
+// processes. Application payloads ride inside Request/Reply/Cast messages;
+// everything else is internal to the membership, ordering, failure-detection
+// and hierarchy protocols.
+type Kind uint16
+
+const (
+	KindInvalid Kind = iota
+
+	// Point-to-point application traffic.
+	KindRequest // RPC request expecting a KindReply
+	KindReply   // RPC reply
+
+	// Group multicast data path.
+	KindCast    // ordered multicast payload (FIFO/causal/total per header)
+	KindCastAck // receiver acknowledgement used for resiliency accounting
+	KindOrder   // sequencer order announcement for ABCAST
+
+	// Failure detection.
+	KindHeartbeat
+	KindHeartbeatAck
+
+	// Group membership (GBCAST-style flush protocol).
+	KindJoinRequest
+	KindLeaveRequest
+	KindViewPropose
+	KindViewFlushAck
+	KindViewInstall
+	KindStateTransfer
+
+	// Hierarchical group management.
+	KindHJoinRequest   // ask the leader group to place a process in a leaf
+	KindHJoinRedirect  // leader's placement decision
+	KindHLeafReport    // leaf -> leader status report (size, load)
+	KindHLeafFailed    // total leaf failure escalation
+	KindHSplit         // leader instructs a leaf to split
+	KindHMerge         // leader instructs two leaves to merge
+	KindHViewUpdate    // branch view update distributed to leader members
+	KindHRoute         // client request routed through the hierarchy
+	KindHRouteReply    // reply to a routed request
+	KindTreeCast       // tree-structured whole-group broadcast stage
+	KindTreeCastAck    // aggregated acknowledgement travelling back up
+	KindNameLookup     // naming service query
+	KindNameLookupResp // naming service response
+	KindNameRegister   // naming service registration
+
+	// Toolkit protocols.
+	KindLockRequest
+	KindLockGrant
+	KindLockRelease
+	KindTxnPrepare
+	KindTxnVote
+	KindTxnDecision
+	KindTaskAssign
+	KindTaskResult
+)
+
+// String returns the symbolic name of the kind for logs and tests.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KindInvalid: "invalid", KindRequest: "request", KindReply: "reply",
+		KindCast: "cast", KindCastAck: "cast-ack", KindOrder: "order",
+		KindHeartbeat: "heartbeat", KindHeartbeatAck: "heartbeat-ack",
+		KindJoinRequest: "join", KindLeaveRequest: "leave",
+		KindViewPropose: "view-propose", KindViewFlushAck: "view-flush-ack",
+		KindViewInstall: "view-install", KindStateTransfer: "state-transfer",
+		KindHJoinRequest: "hjoin", KindHJoinRedirect: "hjoin-redirect",
+		KindHLeafReport: "hleaf-report", KindHLeafFailed: "hleaf-failed",
+		KindHSplit: "hsplit", KindHMerge: "hmerge", KindHViewUpdate: "hview-update",
+		KindHRoute: "hroute", KindHRouteReply: "hroute-reply",
+		KindTreeCast: "treecast", KindTreeCastAck: "treecast-ack",
+		KindNameLookup: "name-lookup", KindNameLookupResp: "name-lookup-resp",
+		KindNameRegister: "name-register",
+		KindLockRequest:  "lock-request", KindLockGrant: "lock-grant", KindLockRelease: "lock-release",
+		KindTxnPrepare: "txn-prepare", KindTxnVote: "txn-vote", KindTxnDecision: "txn-decision",
+		KindTaskAssign: "task-assign", KindTaskResult: "task-result",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// Ordering selects the delivery-order guarantee requested for a multicast,
+// matching the ISIS broadcast primitives.
+type Ordering uint8
+
+const (
+	// Unordered delivers as messages arrive (no holdback).
+	Unordered Ordering = iota
+	// FIFO (FBCAST) delivers messages from each sender in send order.
+	FIFO
+	// Causal (CBCAST) delivers respecting potential causality.
+	Causal
+	// Total (ABCAST) delivers in a single agreed order at all members.
+	Total
+)
+
+// String returns the ISIS primitive name for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Unordered:
+		return "unordered"
+	case FIFO:
+		return "fbcast"
+	case Causal:
+		return "cbcast"
+	case Total:
+		return "abcast"
+	default:
+		return fmt.Sprintf("ordering(%d)", uint8(o))
+	}
+}
+
+// Message is the envelope carried by every transport. One struct is shared
+// by all protocols; unused fields are left at their zero values. Keeping a
+// single concrete type (rather than per-protocol structs) keeps the
+// transports and the fabric's accounting simple and lets the whole envelope
+// be sized for the storage experiments.
+type Message struct {
+	// Kind says which protocol handler should process the message.
+	Kind Kind
+
+	// From and To are the sending and receiving processes. To is the
+	// concrete destination of this copy of the message even when the message
+	// logically addresses a group.
+	From ProcessID
+	To   ProcessID
+
+	// Group is the group the message concerns, when any.
+	Group GroupID
+	// View is the view of Group in which the sender initiated the message.
+	View ViewID
+
+	// ID is the multicast identity (sender + per-group sequence) for
+	// KindCast messages and anything else that needs per-sender sequencing.
+	ID MsgID
+	// Ordering is the delivery guarantee requested for KindCast.
+	Ordering Ordering
+	// Seq is the agreed total-order sequence number (ABCAST order
+	// announcements and sequenced casts).
+	Seq uint64
+	// VT is the sender's vector timestamp for causal delivery. Indexed by
+	// member rank in the sending view.
+	VT []uint64
+
+	// Corr correlates requests with replies (RPC) and protocol rounds with
+	// their acknowledgements. It is unique per originating process.
+	Corr uint64
+	// ReplyTo is the process a reply should be sent to when it differs from
+	// From (for example when a coordinator answers on behalf of a group).
+	ReplyTo ProcessID
+
+	// Hop counts forwarding stages (tree broadcast, hierarchical routing).
+	Hop uint8
+	// TTL bounds forwarding to protect against routing loops.
+	TTL uint8
+
+	// Path carries a subgroup path for hierarchy management messages.
+	Path []uint32
+
+	// Payload is the opaque application or protocol body.
+	Payload []byte
+
+	// Err carries an error string on negative replies.
+	Err string
+}
+
+// WireSize returns an estimate of the encoded size of the message in bytes.
+// The fabric uses it for byte accounting and the storage experiment (E6)
+// uses the same arithmetic for view sizes, so flat and hierarchical stacks
+// are charged identically.
+func (m *Message) WireSize() int {
+	const fixed = 2 + // kind
+		12 + 12 + // from, to
+		8 + // view
+		12 + 8 + // msg id
+		1 + // ordering
+		8 + // seq
+		8 + // corr
+		12 + // reply-to
+		1 + 1 // hop, ttl
+	n := fixed
+	n += len(m.Group.Name) + 1 + 4*len(m.Group.Path)
+	n += 8 * len(m.VT)
+	n += 4 * len(m.Path)
+	n += len(m.Payload)
+	n += len(m.Err)
+	return n
+}
+
+// Clone returns a deep copy of the message. Transports that loop back
+// in-memory use Clone so a receiver can never observe sender-side mutation.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.VT != nil {
+		c.VT = append([]uint64(nil), m.VT...)
+	}
+	if m.Path != nil {
+		c.Path = append([]uint32(nil), m.Path...)
+	}
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	if m.Group.Path != nil {
+		c.Group.Path = append([]uint32(nil), m.Group.Path...)
+	}
+	return &c
+}
+
+// String renders a compact description of the message for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s->%s group=%s view=%d id=%s corr=%d len=%d",
+		m.Kind, m.From, m.To, m.Group, m.View, m.ID, m.Corr, len(m.Payload))
+}
+
+// EncodeUint64 appends v to b in big-endian order. Small helper shared by
+// payload encoders across packages so they do not each pull in
+// encoding/binary boilerplate.
+func EncodeUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// DecodeUint64 reads a big-endian uint64 from the front of b, returning the
+// value and the remaining bytes. It returns ok=false when b is too short.
+func DecodeUint64(b []byte) (v uint64, rest []byte, ok bool) {
+	if len(b) < 8 {
+		return 0, b, false
+	}
+	return binary.BigEndian.Uint64(b[:8]), b[8:], true
+}
+
+// EncodeString appends a length-prefixed string to b.
+func EncodeString(b []byte, s string) []byte {
+	b = EncodeUint64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// DecodeString reads a length-prefixed string from the front of b.
+func DecodeString(b []byte) (s string, rest []byte, ok bool) {
+	n, rest, ok := DecodeUint64(b)
+	if !ok || uint64(len(rest)) < n {
+		return "", b, false
+	}
+	return string(rest[:n]), rest[n:], true
+}

@@ -1,0 +1,241 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	p := ProcessID{Site: 3, Incarnation: 1, Index: 7}
+	if got, want := p.String(), "p3.1:7"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !NilProcess.IsNil() {
+		t.Error("NilProcess.IsNil() = false, want true")
+	}
+	if p.IsNil() {
+		t.Error("non-zero ProcessID reported nil")
+	}
+}
+
+func TestProcessIDLessIsStrictTotalOrder(t *testing.T) {
+	ps := []ProcessID{
+		{Site: 1, Incarnation: 0, Index: 0},
+		{Site: 1, Incarnation: 0, Index: 1},
+		{Site: 1, Incarnation: 2, Index: 0},
+		{Site: 2, Incarnation: 0, Index: 0},
+	}
+	for i := range ps {
+		if ps[i].Less(ps[i]) {
+			t.Errorf("%v.Less(itself) = true", ps[i])
+		}
+		for j := range ps {
+			if i < j && !ps[i].Less(ps[j]) {
+				t.Errorf("expected %v < %v", ps[i], ps[j])
+			}
+			if i > j && ps[i].Less(ps[j]) {
+				t.Errorf("did not expect %v < %v", ps[i], ps[j])
+			}
+		}
+	}
+}
+
+func TestProcessIDLessAntisymmetric(t *testing.T) {
+	f := func(a, b ProcessID) bool {
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupIDStringAndKey(t *testing.T) {
+	flat := FlatGroup("quotes")
+	if got := flat.String(); got != "quotes" {
+		t.Errorf("flat String() = %q", got)
+	}
+	leaf := LeafGroup("quotes", 0, 2)
+	if got := leaf.String(); got != "quotes[leaf:0.2]" {
+		t.Errorf("leaf String() = %q", got)
+	}
+	if leaf.Key() == flat.Key() {
+		t.Error("distinct groups share a Key")
+	}
+	branch := BranchGroup("quotes")
+	leader := LeaderGroup("quotes")
+	if branch.Key() == leader.Key() {
+		t.Error("branch and leader of the same path share a Key")
+	}
+}
+
+func TestGroupIDEqual(t *testing.T) {
+	a := LeafGroup("g", 1, 2)
+	b := LeafGroup("g", 1, 2)
+	c := LeafGroup("g", 1, 3)
+	d := BranchGroup("g", 1, 2)
+	if !a.Equal(b) {
+		t.Error("identical leaf ids not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different paths reported Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different kinds reported Equal")
+	}
+}
+
+func TestGroupIDChildParent(t *testing.T) {
+	root := BranchGroup("svc")
+	child := root.Child(KindLeaf, 3)
+	if got := child.String(); got != "svc[leaf:3]" {
+		t.Errorf("child = %q", got)
+	}
+	parent, ok := child.Parent()
+	if !ok {
+		t.Fatal("child.Parent() reported no parent")
+	}
+	if !parent.Equal(root) {
+		t.Errorf("parent = %v, want %v", parent, root)
+	}
+	if _, ok := root.Parent(); ok {
+		t.Error("root branch reported a parent")
+	}
+	if _, ok := FlatGroup("x").Parent(); ok {
+		t.Error("flat group reported a parent")
+	}
+	if child.Depth() != 1 || root.Depth() != 0 {
+		t.Errorf("depths = %d, %d; want 1, 0", child.Depth(), root.Depth())
+	}
+}
+
+func TestGroupIDChildDoesNotAliasParentPath(t *testing.T) {
+	root := BranchGroup("svc", 1)
+	a := root.Child(KindBranch, 0)
+	_ = root.Child(KindBranch, 9)
+	if a.Path[len(a.Path)-1] != 0 {
+		t.Errorf("sibling creation mutated earlier child path: %v", a.Path)
+	}
+}
+
+func TestProcessSliceHelpers(t *testing.T) {
+	a := ProcessID{Site: 1}
+	b := ProcessID{Site: 2}
+	c := ProcessID{Site: 3}
+	ps := []ProcessID{c, a, b}
+	SortProcesses(ps)
+	if ps[0] != a || ps[1] != b || ps[2] != c {
+		t.Errorf("SortProcesses = %v", ps)
+	}
+	if !ContainsProcess(ps, b) {
+		t.Error("ContainsProcess missed an element")
+	}
+	if ContainsProcess(ps, ProcessID{Site: 9}) {
+		t.Error("ContainsProcess found a missing element")
+	}
+	removed := RemoveProcess(ps, b)
+	if len(removed) != 2 || ContainsProcess(removed, b) {
+		t.Errorf("RemoveProcess = %v", removed)
+	}
+	if len(ps) != 3 {
+		t.Error("RemoveProcess mutated its input")
+	}
+	cp := CopyProcesses(ps)
+	cp[0] = ProcessID{Site: 99}
+	if ps[0] == cp[0] {
+		t.Error("CopyProcesses returned an aliased slice")
+	}
+}
+
+func TestMessageCloneIsDeep(t *testing.T) {
+	m := &Message{
+		Kind:     KindCast,
+		From:     ProcessID{Site: 1},
+		Group:    LeafGroup("g", 4),
+		VT:       []uint64{1, 2, 3},
+		Path:     []uint32{7},
+		Payload:  []byte("hello"),
+		Ordering: Causal,
+	}
+	c := m.Clone()
+	c.VT[0] = 99
+	c.Payload[0] = 'X'
+	c.Path[0] = 9
+	c.Group.Path[0] = 8
+	if m.VT[0] != 1 || m.Payload[0] != 'h' || m.Path[0] != 7 || m.Group.Path[0] != 4 {
+		t.Errorf("Clone aliased underlying slices: %+v", m)
+	}
+}
+
+func TestMessageWireSizeGrowsWithPayload(t *testing.T) {
+	small := &Message{Kind: KindCast, Payload: []byte("x")}
+	big := &Message{Kind: KindCast, Payload: make([]byte, 1024)}
+	if small.WireSize() >= big.WireSize() {
+		t.Errorf("WireSize small=%d big=%d", small.WireSize(), big.WireSize())
+	}
+	withVT := &Message{Kind: KindCast, VT: make([]uint64, 100)}
+	if withVT.WireSize() <= small.WireSize() {
+		t.Error("WireSize does not account for vector timestamps")
+	}
+}
+
+func TestKindAndOrderingStrings(t *testing.T) {
+	if KindCast.String() != "cast" {
+		t.Errorf("KindCast.String() = %q", KindCast.String())
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown Kind produced empty string")
+	}
+	cases := map[Ordering]string{FIFO: "fbcast", Causal: "cbcast", Total: "abcast", Unordered: "unordered"}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if GroupKind(42).String() == "" || Ordering(42).String() == "" {
+		t.Error("unknown enum produced empty string")
+	}
+}
+
+func TestEncodeDecodeHelpers(t *testing.T) {
+	b := EncodeUint64(nil, 42)
+	b = EncodeString(b, "hello")
+	b = EncodeUint64(b, 7)
+
+	v, rest, ok := DecodeUint64(b)
+	if !ok || v != 42 {
+		t.Fatalf("DecodeUint64 = %d, %v", v, ok)
+	}
+	s, rest, ok := DecodeString(rest)
+	if !ok || s != "hello" {
+		t.Fatalf("DecodeString = %q, %v", s, ok)
+	}
+	v2, rest, ok := DecodeUint64(rest)
+	if !ok || v2 != 7 || len(rest) != 0 {
+		t.Fatalf("trailing DecodeUint64 = %d, rest=%d, %v", v2, len(rest), ok)
+	}
+
+	if _, _, ok := DecodeUint64([]byte{1, 2}); ok {
+		t.Error("DecodeUint64 accepted a short buffer")
+	}
+	if _, _, ok := DecodeString(EncodeUint64(nil, 100)); ok {
+		t.Error("DecodeString accepted a truncated string")
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(v uint64, s string) bool {
+		b := EncodeString(EncodeUint64(nil, v), s)
+		got, rest, ok := DecodeUint64(b)
+		if !ok || got != v {
+			return false
+		}
+		gs, rest, ok := DecodeString(rest)
+		return ok && gs == s && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

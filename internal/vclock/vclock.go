@@ -1,0 +1,177 @@
+// Package vclock implements the logical time machinery used by the ISIS
+// broadcast protocols: Lamport clocks (for tie-breaking and ABCAST
+// sequencing) and vector clocks (for CBCAST causal delivery).
+//
+// Vector clocks here are indexed by member *rank* within a group view
+// rather than by process id. The view layer assigns each member a stable
+// rank for the lifetime of a view, which keeps timestamps compact (one
+// uint64 per member) exactly as the ISIS CBCAST implementation did.
+package vclock
+
+import "fmt"
+
+// VC is a vector clock. Index i holds the number of multicasts from the
+// member with rank i that the owner has delivered (or, on a message, the
+// sender's clock at send time with its own entry incremented).
+type VC []uint64
+
+// New returns a zero vector clock for a view with n members.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC { return append(VC(nil), v...) }
+
+// Resize returns a copy of v grown or truncated to n entries. Growing pads
+// with zeros; the membership layer uses it when a new view changes the
+// member count.
+func (v VC) Resize(n int) VC {
+	out := make(VC, n)
+	copy(out, v)
+	return out
+}
+
+// Tick increments the entry for rank i and returns v for chaining.
+func (v VC) Tick(i int) VC {
+	v[i]++
+	return v
+}
+
+// Merge sets v to the element-wise maximum of v and o. Entries beyond
+// len(v) in o are ignored; callers resize first when views change.
+func (v VC) Merge(o VC) VC {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// Relation describes how two vector clocks compare.
+type Relation int
+
+const (
+	// Equal: identical clocks.
+	Equal Relation = iota
+	// Before: the receiver happened-before the argument (v < o).
+	Before
+	// After: the argument happened-before the receiver (v > o).
+	After
+	// Concurrent: neither happened-before the other.
+	Concurrent
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// Compare returns the causal relation between v and o. Clocks of unequal
+// length are compared as if the shorter were zero-padded.
+func (v VC) Compare(o VC) Relation {
+	less, greater := false, false
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	at := func(c VC, i int) uint64 {
+		if i < len(c) {
+			return c[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		a, b := at(v, i), at(o, i)
+		if a < b {
+			less = true
+		}
+		if a > b {
+			greater = true
+		}
+	}
+	switch {
+	case !less && !greater:
+		return Equal
+	case less && !greater:
+		return Before
+	case greater && !less:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// HappensBefore reports whether v strictly happened-before o.
+func (v VC) HappensBefore(o VC) bool { return v.Compare(o) == Before }
+
+// Deliverable implements the CBCAST delivery rule. A message stamped with
+// clock msg from the member with rank sender is deliverable at a process
+// whose delivered-clock is local when
+//
+//	msg[sender] == local[sender]+1   (it is the next message from sender), and
+//	msg[k]      <= local[k]          for every k != sender
+//
+// i.e. the process has already delivered everything the message causally
+// depends on.
+func Deliverable(msg VC, sender int, local VC) bool {
+	if sender < 0 || sender >= len(msg) {
+		return false
+	}
+	at := func(c VC, i int) uint64 {
+		if i < len(c) {
+			return c[i]
+		}
+		return 0
+	}
+	if msg[sender] != at(local, sender)+1 {
+		return false
+	}
+	for k := range msg {
+		if k == sender {
+			continue
+		}
+		if msg[k] > at(local, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock as "[1 0 3]".
+func (v VC) String() string { return fmt.Sprintf("%v", []uint64(v)) }
+
+// Lamport is a Lamport logical clock. It is safe for use from a single
+// goroutine (each process actor owns its own clock).
+type Lamport struct {
+	t uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 { return l.t }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Observe merges a timestamp received on a message and returns the new
+// local value (max(local, remote) + 1).
+func (l *Lamport) Observe(remote uint64) uint64 {
+	if remote > l.t {
+		l.t = remote
+	}
+	l.t++
+	return l.t
+}

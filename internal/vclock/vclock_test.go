@@ -1,0 +1,178 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCopyResize(t *testing.T) {
+	v := New(3)
+	if len(v) != 3 {
+		t.Fatalf("New(3) len = %d", len(v))
+	}
+	v.Tick(1)
+	c := v.Copy()
+	c.Tick(1)
+	if v[1] != 1 || c[1] != 2 {
+		t.Errorf("Copy aliased storage: v=%v c=%v", v, c)
+	}
+	grown := v.Resize(5)
+	if len(grown) != 5 || grown[1] != 1 || grown[4] != 0 {
+		t.Errorf("Resize grow = %v", grown)
+	}
+	shrunk := grown.Resize(2)
+	if len(shrunk) != 2 || shrunk[1] != 1 {
+		t.Errorf("Resize shrink = %v", shrunk)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2, 0, 9}
+	a.Merge(b)
+	want := VC{3, 5, 0}
+	if a.Compare(want) != Equal {
+		t.Errorf("Merge = %v, want %v", a, want)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Relation
+	}{
+		{VC{0, 0}, VC{0, 0}, Equal},
+		{VC{1, 0}, VC{1, 1}, Before},
+		{VC{2, 1}, VC{1, 1}, After},
+		{VC{1, 0}, VC{0, 1}, Concurrent},
+		{VC{1}, VC{1, 0}, Equal},  // short clock zero-padded
+		{VC{1}, VC{1, 2}, Before}, // padding respected
+		{VC{1, 1, 1}, VC{1, 1}, After},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if !(VC{0, 0}).HappensBefore(VC{0, 1}) {
+		t.Error("HappensBefore false for strictly smaller clock")
+	}
+	if (VC{0, 1}).HappensBefore(VC{0, 1}) {
+		t.Error("HappensBefore true for equal clocks")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	gen := func(r *rand.Rand) VC {
+		n := 1 + r.Intn(5)
+		v := New(n)
+		for i := range v {
+			v[i] = uint64(r.Intn(4))
+		}
+		return v
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := gen(r), gen(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			if ba != Equal {
+				t.Fatalf("%v = %v but reverse %v", a, b, ba)
+			}
+		case Before:
+			if ba != After {
+				t.Fatalf("%v < %v but reverse %v", a, b, ba)
+			}
+		case After:
+			if ba != Before {
+				t.Fatalf("%v > %v but reverse %v", a, b, ba)
+			}
+		case Concurrent:
+			if ba != Concurrent {
+				t.Fatalf("%v || %v but reverse %v", a, b, ba)
+			}
+		}
+	}
+}
+
+func TestMergeDominatesBothProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		if len(xs) == 0 {
+			xs = []uint8{0}
+		}
+		a := make(VC, len(xs))
+		for i, x := range xs {
+			a[i] = uint64(x)
+		}
+		b := make(VC, len(ys))
+		for i, y := range ys {
+			b[i] = uint64(y)
+		}
+		m := a.Copy().Merge(b)
+		// merged clock must not be Before either input (within a's length)
+		rel := m.Compare(a)
+		return rel == Equal || rel == After
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeliverable(t *testing.T) {
+	local := VC{2, 1, 0}
+
+	// Next message from sender 0, no unseen dependencies: deliverable.
+	if !Deliverable(VC{3, 1, 0}, 0, local) {
+		t.Error("expected deliverable")
+	}
+	// Gap from sender (seq jumps to 4): not deliverable.
+	if Deliverable(VC{4, 1, 0}, 0, local) {
+		t.Error("gap message reported deliverable")
+	}
+	// Depends on a message from rank 2 we have not delivered.
+	if Deliverable(VC{3, 1, 1}, 0, local) {
+		t.Error("message with missing causal dependency reported deliverable")
+	}
+	// Duplicate / old message.
+	if Deliverable(VC{2, 1, 0}, 0, local) {
+		t.Error("already-delivered message reported deliverable")
+	}
+	// Sender rank out of range.
+	if Deliverable(VC{1, 1, 1}, 7, local) {
+		t.Error("out-of-range sender reported deliverable")
+	}
+	// Local clock shorter than message clock (new member joined mid-view is
+	// handled by resize, but Deliverable must still be safe).
+	if !Deliverable(VC{1}, 0, VC{}) {
+		t.Error("first message from sole sender not deliverable at fresh process")
+	}
+}
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Errorf("initial = %d", l.Now())
+	}
+	if l.Tick() != 1 || l.Tick() != 2 {
+		t.Error("Tick sequence wrong")
+	}
+	if got := l.Observe(10); got != 11 {
+		t.Errorf("Observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Errorf("Observe(3) = %d, want 12 (monotone)", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for _, r := range []Relation{Equal, Before, After, Concurrent, Relation(9)} {
+		if r.String() == "" {
+			t.Errorf("empty String for %d", int(r))
+		}
+	}
+	if (VC{1, 2}).String() != "[1 2]" {
+		t.Errorf("VC.String = %q", VC{1, 2}.String())
+	}
+}

@@ -1,0 +1,188 @@
+// Package workload synthesises the paper's two motivating applications as
+// drivable workloads:
+//
+//   - the trading room: 100–500 analyst workstations that continuously
+//     receive data-feed events, issue quote/analytics requests against a
+//     shared service, and demand sub-second responses;
+//   - manufacturing control: hundreds of work cells reporting to production
+//     monitoring and inventory stations, where consistency matters more than
+//     latency.
+//
+// The generators produce deterministic request streams (seeded) so the
+// experiments in cmd/isis-bench are reproducible, and a Driver runs a stream
+// of requests against any RequestFunc (flat service, hierarchical service,
+// or an in-process handler) while recording latency and deadline misses.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Request is one application-level operation issued by a client workstation.
+type Request struct {
+	Client  int
+	Seq     int
+	Kind    string
+	Payload []byte
+}
+
+// TradingConfig describes a trading-room scenario.
+type TradingConfig struct {
+	Workstations      int           // number of analyst workstations (clients)
+	RequestsPerClient int           // quote/analytics requests per workstation
+	Symbols           int           // distinct instruments
+	Deadline          time.Duration // the sub-second response requirement
+	Seed              int64
+}
+
+// DefaultTrading returns the paper's small-end trading room: 100
+// workstations with a 1-second deadline.
+func DefaultTrading() TradingConfig {
+	return TradingConfig{Workstations: 100, RequestsPerClient: 5, Symbols: 64, Deadline: time.Second, Seed: 1}
+}
+
+// TradingRequests generates the request stream for one workstation.
+func TradingRequests(cfg TradingConfig, client int) []Request {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(client)))
+	out := make([]Request, cfg.RequestsPerClient)
+	for i := range out {
+		symbol := rng.Intn(maxInt(cfg.Symbols, 1))
+		kind := "quote"
+		if rng.Float64() < 0.2 {
+			kind = "analyze"
+		}
+		out[i] = Request{
+			Client:  client,
+			Seq:     i,
+			Kind:    kind,
+			Payload: []byte(fmt.Sprintf("%s sym%03d client%03d seq%d", kind, symbol, client, i)),
+		}
+	}
+	return out
+}
+
+// FactoryConfig describes a manufacturing-control scenario.
+type FactoryConfig struct {
+	WorkCells      int // cells reporting status and consuming inventory
+	UpdatesPerCell int // inventory transactions per cell
+	Parts          int // distinct part numbers
+	Seed           int64
+}
+
+// DefaultFactory returns a mid-sized factory floor.
+func DefaultFactory() FactoryConfig {
+	return FactoryConfig{WorkCells: 60, UpdatesPerCell: 4, Parts: 32, Seed: 2}
+}
+
+// FactoryUpdates generates the inventory updates issued by one work cell.
+// Each update is a key/value write suitable for the replicated-data or
+// transaction tools.
+func FactoryUpdates(cfg FactoryConfig, cell int) []map[string]string {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(cell)*7919))
+	out := make([]map[string]string, cfg.UpdatesPerCell)
+	for i := range out {
+		part := rng.Intn(maxInt(cfg.Parts, 1))
+		out[i] = map[string]string{
+			fmt.Sprintf("inventory/part%03d", part):    fmt.Sprintf("%d", rng.Intn(1000)),
+			fmt.Sprintf("cell/%03d/last-report", cell): fmt.Sprintf("update-%d", i),
+		}
+	}
+	return out
+}
+
+// RequestFunc is anything that can answer a client request.
+type RequestFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// Result summarises one driver run.
+type Result struct {
+	Requests     int
+	Errors       int
+	DeadlineMiss int
+	Latency      *metrics.Histogram
+	Elapsed      time.Duration
+	Concurrency  int
+}
+
+// Driver issues a set of per-client request streams against a service.
+type Driver struct {
+	// Concurrency bounds how many clients issue requests at once (0 = all).
+	Concurrency int
+	// Deadline counts responses slower than this as deadline misses (0 =
+	// no deadline accounting).
+	Deadline time.Duration
+	// PerRequestTimeout bounds each request (default 5s).
+	PerRequestTimeout time.Duration
+}
+
+// Run executes every client's request stream against fn and returns the
+// aggregated result. fns maps a client index to the RequestFunc it should
+// use (so each simulated workstation can have its own cached connection).
+func (d Driver) Run(ctx context.Context, streams [][]Request, fns func(client int) RequestFunc) Result {
+	if d.PerRequestTimeout <= 0 {
+		d.PerRequestTimeout = 5 * time.Second
+	}
+	conc := d.Concurrency
+	if conc <= 0 || conc > len(streams) {
+		conc = len(streams)
+	}
+	res := Result{Latency: metrics.NewHistogram(), Concurrency: conc}
+	var mu sync.Mutex
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for client, stream := range streams {
+		wg.Add(1)
+		go func(client int, stream []Request) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn := fns(client)
+			for _, req := range stream {
+				reqCtx, cancel := context.WithTimeout(ctx, d.PerRequestTimeout)
+				t0 := time.Now()
+				_, err := fn(reqCtx, req.Payload)
+				lat := time.Since(t0)
+				cancel()
+				mu.Lock()
+				res.Requests++
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Latency.Observe(lat)
+					if d.Deadline > 0 && lat > d.Deadline {
+						res.DeadlineMiss++
+					}
+				}
+				mu.Unlock()
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(client, stream)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// TradingStreams builds the full set of per-workstation request streams.
+func TradingStreams(cfg TradingConfig) [][]Request {
+	out := make([][]Request, cfg.Workstations)
+	for c := range out {
+		out[c] = TradingRequests(cfg, c)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

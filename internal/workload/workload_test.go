@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTradingRequestsDeterministic(t *testing.T) {
+	cfg := DefaultTrading()
+	a := TradingRequests(cfg, 3)
+	b := TradingRequests(cfg, 3)
+	if len(a) != cfg.RequestsPerClient {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+	}
+	c := TradingRequests(cfg, 4)
+	same := true
+	for i := range a {
+		if string(a[i].Payload) != string(c[i].Payload) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different clients produced identical streams")
+	}
+}
+
+func TestTradingStreamsShape(t *testing.T) {
+	cfg := TradingConfig{Workstations: 7, RequestsPerClient: 3, Symbols: 4, Seed: 9}
+	streams := TradingStreams(cfg)
+	if len(streams) != 7 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+	for c, s := range streams {
+		if len(s) != 3 {
+			t.Fatalf("client %d has %d requests", c, len(s))
+		}
+		for i, r := range s {
+			if r.Client != c || r.Seq != i || len(r.Payload) == 0 {
+				t.Fatalf("malformed request %+v", r)
+			}
+		}
+	}
+}
+
+func TestFactoryUpdates(t *testing.T) {
+	cfg := DefaultFactory()
+	u := FactoryUpdates(cfg, 5)
+	if len(u) != cfg.UpdatesPerCell {
+		t.Fatalf("len = %d", len(u))
+	}
+	for _, w := range u {
+		if len(w) != 2 {
+			t.Fatalf("update has %d writes", len(w))
+		}
+	}
+	again := FactoryUpdates(cfg, 5)
+	if fmt.Sprint(u) != fmt.Sprint(again) {
+		t.Error("factory updates not deterministic")
+	}
+}
+
+func TestDriverRunCountsLatencyAndDeadlines(t *testing.T) {
+	cfg := TradingConfig{Workstations: 4, RequestsPerClient: 5, Symbols: 4, Deadline: 5 * time.Millisecond, Seed: 1}
+	streams := TradingStreams(cfg)
+	slowClient := 2
+	fn := func(client int) RequestFunc {
+		return func(ctx context.Context, payload []byte) ([]byte, error) {
+			if client == slowClient {
+				time.Sleep(8 * time.Millisecond)
+			}
+			return payload, nil
+		}
+	}
+	d := Driver{Deadline: cfg.Deadline, Concurrency: 2}
+	res := d.Run(context.Background(), streams, fn)
+	if res.Requests != 20 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+	if res.DeadlineMiss != cfg.RequestsPerClient {
+		t.Errorf("deadline misses = %d, want %d (only the slow client misses)", res.DeadlineMiss, cfg.RequestsPerClient)
+	}
+	if res.Latency.Count() != 20 {
+		t.Errorf("latency samples = %d", res.Latency.Count())
+	}
+	if res.Concurrency != 2 {
+		t.Errorf("concurrency = %d", res.Concurrency)
+	}
+}
+
+func TestDriverRunCountsErrors(t *testing.T) {
+	streams := [][]Request{{{Payload: []byte("x")}}, {{Payload: []byte("y")}}}
+	fn := func(client int) RequestFunc {
+		return func(ctx context.Context, payload []byte) ([]byte, error) {
+			if client == 1 {
+				return nil, errors.New("boom")
+			}
+			return payload, nil
+		}
+	}
+	res := Driver{}.Run(context.Background(), streams, fn)
+	if res.Requests != 2 || res.Errors != 1 {
+		t.Errorf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+}

@@ -1,0 +1,241 @@
+// Package isis is the public facade of the ISIS large-scale process-group
+// reproduction (Birman & Cooper, "Supporting Large Scale Applications on
+// Networks of Workstations", HotOS 1989).
+//
+// It exposes the toolkit-level programming model application programmers
+// use:
+//
+//   - a System is a network of simulated workstations (or a TCP deployment);
+//   - a Process is one workstation-resident process;
+//   - flat Groups provide the classic small-scale ISIS abstraction —
+//     virtually synchronous membership plus FBCAST/CBCAST/ABCAST multicast;
+//   - Services are the paper's contribution: hierarchical ("large") process
+//     groups with bounded fanout, a resilient leader group, request routing
+//     to individual leaf subgroups and tree-structured whole-group
+//     broadcast;
+//   - Clients address a Service purely by name and talk to a single leaf.
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// architecture.
+package isis
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fdetect"
+	"repro/internal/group"
+	"repro/internal/member"
+	"repro/internal/naming"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Re-exported identifier and message types.
+type (
+	// ProcessID identifies a process (site, incarnation, index).
+	ProcessID = types.ProcessID
+	// GroupID identifies a flat group or a subgroup of a large group.
+	GroupID = types.GroupID
+	// Ordering selects the multicast delivery guarantee.
+	Ordering = types.Ordering
+	// View is a flat group's membership view.
+	View = member.View
+	// Delivery is one delivered multicast.
+	Delivery = group.Delivery
+	// GroupConfig configures a flat group membership.
+	GroupConfig = group.Config
+	// ServiceConfig configures a hierarchical (large-group) service member.
+	ServiceConfig = core.Config
+	// Group is a flat (small) process group membership.
+	Group = group.Group
+	// Service is one process's membership of a hierarchical large group.
+	Service = core.Agent
+	// ServiceClient is a non-member client of a hierarchical service.
+	ServiceClient = core.Client
+	// Tree is the leader group's subgroup tree.
+	Tree = core.Tree
+	// Stats are the fabric-level message counters.
+	Stats = netsim.Stats
+	// Directory is a name-service replica.
+	Directory = naming.Directory
+	// Resolver is a name-service client.
+	Resolver = naming.Resolver
+)
+
+// Multicast orderings (the ISIS broadcast primitives).
+const (
+	Unordered = types.Unordered
+	FBCAST    = types.FIFO
+	CBCAST    = types.Causal
+	ABCAST    = types.Total
+)
+
+// Config configures a System.
+type Config struct {
+	// Network configures the simulated workstation network.
+	Network netsim.Config
+	// Detector configures failure detection. The zero value disables
+	// heartbeats (failures must be injected); use DefaultDetector for
+	// interactive use.
+	Detector fdetect.Config
+}
+
+// DefaultDetector returns heartbeat-based failure detection suitable for
+// demos and examples.
+func DefaultDetector() fdetect.Config { return fdetect.DefaultConfig() }
+
+// System is a collection of simulated workstation processes sharing one
+// network fabric.
+type System struct {
+	cfg      Config
+	fabric   *netsim.Fabric
+	net      *transport.Memory
+	procs    []*Process
+	nextSite uint32
+}
+
+// NewSystem creates an empty system.
+func NewSystem(cfg Config) *System {
+	fabric := netsim.New(cfg.Network)
+	return &System{cfg: cfg, fabric: fabric, net: transport.NewMemory(fabric)}
+}
+
+// Fabric exposes the underlying simulated network (fault injection and
+// message accounting).
+func (s *System) Fabric() *netsim.Fabric { return s.fabric }
+
+// Stats returns the fabric's message counters.
+func (s *System) Stats() Stats { return s.fabric.Stats() }
+
+// Processes returns every process spawned so far.
+func (s *System) Processes() []*Process { return append([]*Process(nil), s.procs...) }
+
+// Shutdown stops every process.
+func (s *System) Shutdown() {
+	for _, p := range s.procs {
+		p.Stop()
+	}
+}
+
+// Process is one workstation-resident process.
+type Process struct {
+	node     *node.Node
+	detector *fdetect.Detector
+	stack    *group.Stack
+	host     *core.Host
+}
+
+// Spawn creates a new process on the system's network.
+func (s *System) Spawn() (*Process, error) {
+	s.nextSite++
+	pid := types.ProcessID{Site: types.SiteID(s.nextSite), Incarnation: 1}
+	n, err := node.New(pid, s.net)
+	if err != nil {
+		return nil, fmt.Errorf("isis: spawn: %w", err)
+	}
+	p := &Process{node: n}
+	p.detector = fdetect.New(n, s.cfg.Detector, func(suspect types.ProcessID) {
+		p.stack.ReportSuspicion(suspect)
+	})
+	p.stack = group.NewStack(n, p.detector)
+	p.host = core.NewHost(p.stack)
+	n.Start()
+	s.procs = append(s.procs, p)
+	return p, nil
+}
+
+// MustSpawn is Spawn for examples and tests that cannot proceed on error.
+func (s *System) MustSpawn() *Process {
+	p, err := s.Spawn()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Crash simulates a workstation power failure for p: the network stops
+// delivering to it and its runtime halts.
+func (s *System) Crash(p *Process) {
+	s.fabric.Crash(p.ID())
+	p.Stop()
+}
+
+// InjectFailure tells every other process that p has failed, without waiting
+// for failure-detection timeouts.
+func (s *System) InjectFailure(p *Process) {
+	failed := p.ID()
+	for _, q := range s.procs {
+		if q == p || q.node.Stopped() {
+			continue
+		}
+		stack := q.stack
+		q.node.Do(func() { stack.ReportSuspicion(failed) })
+	}
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() ProcessID { return p.node.PID() }
+
+// Stop halts the process.
+func (p *Process) Stop() {
+	p.detector.Stop()
+	p.node.Stop()
+}
+
+// CreateGroup founds a flat process group with this process as its first
+// member.
+func (p *Process) CreateGroup(name string, cfg GroupConfig) (*Group, error) {
+	return p.stack.Create(types.FlatGroup(name), cfg)
+}
+
+// JoinGroup joins an existing flat group via any current member.
+func (p *Process) JoinGroup(ctx context.Context, name string, contact ProcessID, cfg GroupConfig) (*Group, error) {
+	return p.stack.Join(ctx, types.FlatGroup(name), contact, cfg)
+}
+
+// CreateService founds a hierarchical large-group service with this process
+// as its first member (and first leader-group member).
+func (p *Process) CreateService(name string, cfg ServiceConfig) (*Service, error) {
+	return p.host.Create(name, cfg)
+}
+
+// JoinService adds this process to an existing hierarchical service via any
+// process already participating in it.
+func (p *Process) JoinService(ctx context.Context, name string, contact ProcessID, cfg ServiceConfig) (*Service, error) {
+	return p.host.Join(ctx, name, contact, cfg)
+}
+
+// NewServiceClient creates a client of the named hierarchical service,
+// reachable through the given entry process.
+func (p *Process) NewServiceClient(name string, entry ProcessID) *ServiceClient {
+	return core.NewClient(p.node, name, entry)
+}
+
+// NewDirectory makes this process a name-service replica.
+func (p *Process) NewDirectory(peers []ProcessID) *Directory {
+	return naming.NewDirectory(p.node, peers)
+}
+
+// NewResolver creates a name-service client bound to the given directory
+// replica.
+func (p *Process) NewResolver(directory ProcessID) *Resolver {
+	return naming.NewResolver(p.node, directory)
+}
+
+// WaitFor polls cond until it returns true or the timeout expires; a
+// convenience for examples that need to wait for views or deliveries.
+func WaitFor(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}

@@ -1,0 +1,135 @@
+// Integration tests of the public facade: the same flows the examples use,
+// exercised end to end through package isis only.
+package isis_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestFacadeFlatGroupRoundTrip(t *testing.T) {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+	a := sys.MustSpawn()
+	b := sys.MustSpawn()
+
+	var got atomic.Int32
+	cfg := isis.GroupConfig{OnDeliver: func(d isis.Delivery) { got.Add(1) }}
+	ga, err := a.CreateGroup("g", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.JoinGroup(ctxT(t), "g", a.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Cast(ctxT(t), isis.ABCAST, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !isis.WaitFor(5*time.Second, func() bool { return got.Load() == 2 }) {
+		t.Fatalf("delivered %d of 2", got.Load())
+	}
+	if sys.Stats().MessagesSent == 0 {
+		t.Error("fabric stats empty")
+	}
+}
+
+func TestFacadeServiceRequestBroadcastAndFailure(t *testing.T) {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+
+	const members = 9
+	var broadcasts atomic.Int32
+	cfg := isis.ServiceConfig{
+		Fanout:         3,
+		Resiliency:     2,
+		RequestHandler: func(p []byte) []byte { return append([]byte("ok:"), p...) },
+		OnBroadcast:    func([]byte) { broadcasts.Add(1) },
+	}
+	founder := sys.MustSpawn()
+	svc, err := founder.CreateService("quotes", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []*isis.Process{founder}
+	for i := 1; i < members; i++ {
+		p := sys.MustSpawn()
+		if _, err := p.JoinService(ctxT(t), "quotes", founder.ID(), cfg); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		procs = append(procs, p)
+	}
+	if !isis.WaitFor(10*time.Second, func() bool { return svc.Tree().TotalMembers() == members }) {
+		t.Fatalf("tree = %d members", svc.Tree().TotalMembers())
+	}
+
+	client := sys.MustSpawn().NewServiceClient("quotes", founder.ID())
+	reply, err := client.Request(ctxT(t), []byte("IBM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "ok:IBM" {
+		t.Errorf("reply = %q", reply)
+	}
+
+	covered, err := svc.Broadcast(ctxT(t), []byte("halt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != members {
+		t.Errorf("broadcast covered %d of %d", covered, members)
+	}
+	if !isis.WaitFor(5*time.Second, func() bool { return int(broadcasts.Load()) == members }) {
+		t.Errorf("broadcast delivered at %d of %d members", broadcasts.Load(), members)
+	}
+
+	victim := procs[len(procs)-1]
+	sys.Crash(victim)
+	sys.InjectFailure(victim)
+	if !isis.WaitFor(10*time.Second, func() bool { return svc.Tree().TotalMembers() == members-1 }) {
+		t.Fatalf("tree still has %d members after failure", svc.Tree().TotalMembers())
+	}
+	if _, err := client.Request(ctxT(t), []byte("DEC")); err != nil {
+		t.Errorf("request after failure: %v", err)
+	}
+}
+
+func TestFacadeNameService(t *testing.T) {
+	sys := isis.NewSystem(isis.Config{})
+	defer sys.Shutdown()
+	dirProc := sys.MustSpawn()
+	svcProc := sys.MustSpawn()
+	clientProc := sys.MustSpawn()
+
+	dir := dirProc.NewDirectory(nil)
+	_ = dir
+	cfg := isis.ServiceConfig{Fanout: 4, Resiliency: 2, RequestHandler: func(p []byte) []byte { return p }}
+	if _, err := svcProc.CreateService("quotes", cfg); err != nil {
+		t.Fatal(err)
+	}
+	res := svcProc.NewResolver(dirProc.ID())
+	if err := res.RegisterRemote(ctxT(t), "quotes", []isis.ProcessID{svcProc.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	contacts, err := clientProc.NewResolver(dirProc.ID()).Resolve(ctxT(t), "quotes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contacts) != 1 || contacts[0] != svcProc.ID() {
+		t.Fatalf("contacts = %v", contacts)
+	}
+	client := clientProc.NewServiceClient("quotes", contacts[0])
+	if _, err := client.Request(ctxT(t), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

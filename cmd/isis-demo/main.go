@@ -15,13 +15,11 @@ import (
 )
 
 func main() {
-	sys := isis.NewSystem(isis.Config{})
+	sys := isis.NewSimulated(isis.WithFanout(4), isis.WithResiliency(2))
 	defer sys.Shutdown()
 
 	const members = 20
 	cfg := isis.ServiceConfig{
-		Fanout:     4,
-		Resiliency: 2,
 		RequestHandler: func(p []byte) []byte {
 			return append([]byte("quoted: "), p...)
 		},
@@ -43,7 +41,9 @@ func main() {
 		cancel()
 		procs = append(procs, p)
 	}
-	isis.WaitFor(5*time.Second, func() bool { return founder.Tree().TotalMembers() == members })
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = isis.Await(waitCtx, func() bool { return founder.Tree().TotalMembers() == members })
+	waitCancel()
 
 	printTree := func(when string) {
 		tree := founder.Tree()
@@ -79,7 +79,9 @@ func main() {
 	fmt.Printf("\ncrashing workstation %v ...\n", victim.ID())
 	sys.Crash(victim)
 	sys.InjectFailure(victim)
-	isis.WaitFor(5*time.Second, func() bool { return founder.Tree().TotalMembers() == members-1 })
+	waitCtx, waitCancel = context.WithTimeout(context.Background(), 5*time.Second)
+	_ = isis.Await(waitCtx, func() bool { return founder.Tree().TotalMembers() == members-1 })
+	waitCancel()
 	printTree("after one workstation failure")
 
 	stats := sys.Stats()

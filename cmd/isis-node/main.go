@@ -1,8 +1,9 @@
 // Command isis-node runs one workstation process over real TCP, either
 // founding a hierarchical service or joining an existing one, and then
-// serves requests until interrupted. It demonstrates that the protocol stack
-// is transport-independent: the same code that the simulations exercise over
-// the in-memory fabric runs here over sockets.
+// serves requests until interrupted. It is built entirely on the public isis
+// facade — the same API the simulations exercise over the in-memory fabric —
+// which is the paper's transport-independence claim made concrete: only the
+// Runtime constructor differs between this daemon and the examples.
 //
 // Start a founder and two more members on one machine:
 //
@@ -23,12 +24,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/fdetect"
-	"repro/internal/group"
-	"repro/internal/node"
-	"repro/internal/transport"
-	"repro/internal/types"
+	isis "repro"
 )
 
 func main() {
@@ -41,10 +37,14 @@ func main() {
 	resiliency := flag.Int("resiliency", 3, "resiliency (acknowledgements / replicas)")
 	flag.Parse()
 
-	tcp := transport.NewTCP()
-	self := types.ProcessID{Site: types.SiteID(*site), Incarnation: 1}
+	rt := isis.NewTCP(
+		isis.WithHeartbeats(),
+		isis.WithFanout(*fanout),
+		isis.WithResiliency(*resiliency),
+	)
+	defer rt.Shutdown()
 
-	var contactPID types.ProcessID
+	var contactPID isis.ProcessID
 	if *contact != "" {
 		parts := strings.SplitN(*contact, "=", 2)
 		if len(parts) != 2 {
@@ -54,65 +54,43 @@ func main() {
 		if err != nil {
 			log.Fatalf("bad -contact site %q: %v", parts[0], err)
 		}
-		contactPID = types.ProcessID{Site: types.SiteID(siteNum), Incarnation: 1}
-		tcp.AddPeer(contactPID, parts[1])
+		contactPID = isis.Site(uint32(siteNum))
+		if err := rt.AddPeer(uint32(siteNum), parts[1]); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	ep, err := tcp.AttachAt(self, *listen)
+	p, err := rt.SpawnAt(uint32(*site), *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := newNodeOn(self, ep)
-	det := fdetect.New(n, fdetect.DefaultConfig(), nil)
-	stack := group.NewStack(n, det)
-	host := core.NewHost(stack)
-	n.Start()
-	defer n.Stop()
 
-	cfg := core.Config{
-		Fanout:     *fanout,
-		Resiliency: *resiliency,
-		RequestHandler: func(p []byte) []byte {
-			return []byte(fmt.Sprintf("site %d handled %q at %s", *site, p, time.Now().Format(time.RFC3339Nano)))
+	cfg := isis.ServiceConfig{
+		RequestHandler: func(payload []byte) []byte {
+			return []byte(fmt.Sprintf("site %d handled %q at %s", *site, payload, time.Now().Format(time.RFC3339Nano)))
 		},
-		OnBroadcast: func(p []byte) { log.Printf("broadcast delivered: %q", p) },
+		OnBroadcast: func(payload []byte) { log.Printf("broadcast delivered: %q", payload) },
 	}
 
-	var agent *core.Agent
+	var svc *isis.Service
 	if *create {
-		agent, err = host.Create(*service, cfg)
+		svc, err = p.CreateService(*service, cfg)
 	} else {
 		if contactPID.IsNil() {
 			log.Fatal("joining requires -contact site=host:port")
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		agent, err = host.Join(ctx, *service, contactPID, cfg)
+		svc, err = p.JoinService(ctx, *service, contactPID, cfg)
 		cancel()
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("site %d up as %v; service %q; leader=%v; leaf=%v",
-		*site, self, *service, agent.IsLeader(), agent.Leaf().ID())
+	log.Printf("site %d up as %v at %s; service %q; leader=%v; leaf=%v",
+		*site, p.ID(), p.Addr(), *service, svc.IsLeader(), svc.Leaf().ID())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
 }
-
-// newNodeOn builds a node directly on an already-attached endpoint. The node
-// package attaches endpoints itself for the common case; the TCP daemon
-// needs to control the listen address, so it wraps the endpoint in a
-// single-use network.
-func newNodeOn(pid types.ProcessID, ep transport.Endpoint) *node.Node {
-	n, err := node.New(pid, fixedNetwork{ep: ep})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return n
-}
-
-type fixedNetwork struct{ ep transport.Endpoint }
-
-func (f fixedNetwork) Attach(types.ProcessID) (transport.Endpoint, error) { return f.ep, nil }

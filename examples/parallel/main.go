@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	sys := isis.NewSystem(isis.Config{})
+	sys := isis.NewSimulated()
 	defer sys.Shutdown()
 
 	const workers = 6

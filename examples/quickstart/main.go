@@ -2,59 +2,66 @@
 // form a flat process group, exchange ordered multicasts, and then the same
 // three processes stand up a hierarchical service and answer a client
 // request — the two programming models of the library side by side.
+//
+// Swap isis.NewSimulated() for isis.NewTCP() and the program runs unchanged
+// over real sockets; that substitutability is the point of the facade.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
-	"sync/atomic"
 	"time"
 
 	isis "repro"
 )
 
 func main() {
-	sys := isis.NewSystem(isis.Config{})
-	defer sys.Shutdown()
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 
 	// --- flat (small) process group: the classic ISIS model ---------------
-	a := sys.MustSpawn()
-	b := sys.MustSpawn()
-	c := sys.MustSpawn()
+	a := rt.MustSpawn()
+	b := rt.MustSpawn()
+	c := rt.MustSpawn()
 
-	var delivered atomic.Int32
-	gcfg := func(name string) isis.GroupConfig {
-		return isis.GroupConfig{
-			OnDeliver: func(d isis.Delivery) {
-				delivered.Add(1)
-				fmt.Printf("[%s] delivered %q from %v (ordering %s)\n", name, d.Payload, d.From, d.Ordering)
-			},
+	ga, err := a.CreateGroup("chat", isis.GroupConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gb, err := b.JoinGroup(ctx, "chat", a.ID(), isis.GroupConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gc, err := c.JoinGroup(ctx, "chat", a.ID(), isis.GroupConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Block on the membership event stream until all three members are in.
+	for view := range ga.Views(ctx) {
+		if view.Size() == 3 {
+			fmt.Printf("flat group view: %v\n", view)
+			break
 		}
 	}
-	ga, err := a.CreateGroup("chat", gcfg("a"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if _, err := b.JoinGroup(ctx, "chat", a.ID(), gcfg("b")); err != nil {
-		log.Fatal(err)
-	}
-	gc, err := c.JoinGroup(ctx, "chat", a.ID(), gcfg("c"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("flat group view: %v\n", ga.CurrentView())
 
-	// A totally ordered multicast (ABCAST) from two members.
+	// A totally ordered multicast (ABCAST) from two members; every member
+	// observes the same order on its Deliveries channel.
+	deliveries := gb.Deliveries(ctx)
 	if err := ga.Cast(ctx, isis.ABCAST, []byte("hello from a")); err != nil {
 		log.Fatal(err)
 	}
 	if err := gc.Cast(ctx, isis.ABCAST, []byte("hello from c")); err != nil {
 		log.Fatal(err)
 	}
-	isis.WaitFor(3*time.Second, func() bool { return delivered.Load() == 6 })
+	for i := 0; i < 2; i++ {
+		d := <-deliveries
+		fmt.Printf("[b] delivered %q from %v (ordering %s)\n", d.Payload, d.From, d.Ordering)
+	}
 
 	// --- hierarchical service: the paper's large-group model --------------
 	scfg := isis.ServiceConfig{
@@ -74,9 +81,11 @@ func main() {
 	if _, err := c.JoinService(ctx, "quotes", a.ID(), scfg); err != nil {
 		log.Fatal(err)
 	}
-	isis.WaitFor(3*time.Second, func() bool { return svc.Tree().TotalMembers() == 3 })
+	if err := isis.Await(ctx, func() bool { return svc.Tree().TotalMembers() == 3 }); err != nil {
+		log.Fatal(err)
+	}
 
-	client := sys.MustSpawn().NewServiceClient("quotes", a.ID())
+	client := rt.MustSpawn().NewServiceClient("quotes", a.ID())
 	reply, err := client.Request(ctx, []byte("price of IBM?"))
 	if err != nil {
 		log.Fatal(err)

@@ -4,30 +4,108 @@
 // a market-wide halt is distributed with the tree-structured broadcast; and
 // one server workstation crashes mid-run to show that the disturbance stays
 // inside a single leaf subgroup.
+//
+// The whole program speaks only the public isis facade; swap NewSimulated
+// for NewTCP and it runs over real sockets.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	isis "repro"
-	"repro/internal/workload"
 )
 
-func main() {
-	sys := isis.NewSystem(isis.Config{})
-	defer sys.Shutdown()
+const (
+	serviceSize       = 24
+	analysts          = 120
+	requestsPerClient = 4
+	symbols           = 128
+	deadline          = time.Second
+	concurrency       = 32
+	// perRequestTimeout is deliberately longer than the measured deadline:
+	// slow-but-successful requests must complete so they can be counted as
+	// deadline misses rather than vanishing as context errors.
+	perRequestTimeout = 5 * time.Second
+)
 
-	const serviceSize = 24
-	const analysts = 120
+// phaseResult aggregates one driver run over all analyst workstations.
+type phaseResult struct {
+	requests  int
+	misses    int
+	errors    int
+	latencies []time.Duration
+}
+
+func (r *phaseResult) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runPhase drives every analyst's request stream with bounded concurrency
+// and a per-request deadline, like the paper's trading analysts.
+func runPhase(clients []*isis.ServiceClient, seed int64) phaseResult {
+	rng := rand.New(rand.NewSource(seed))
+	type job struct {
+		client  int
+		payload string
+	}
+	jobs := make([]job, 0, analysts*requestsPerClient)
+	for c := 0; c < analysts; c++ {
+		for r := 0; r < requestsPerClient; r++ {
+			jobs = append(jobs, job{c, fmt.Sprintf("sym%03d", rng.Intn(symbols))})
+		}
+	}
+
+	var mu sync.Mutex
+	res := phaseResult{}
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), perRequestTimeout)
+			start := time.Now()
+			_, err := clients[j.client].Request(ctx, []byte(j.payload))
+			elapsed := time.Since(start)
+			cancel()
+			mu.Lock()
+			defer mu.Unlock()
+			res.requests++
+			if err != nil {
+				res.errors++
+				return
+			}
+			res.latencies = append(res.latencies, elapsed)
+			if elapsed > deadline {
+				res.misses++
+			}
+		}(j)
+	}
+	wg.Wait()
+	return res
+}
+
+func main() {
+	rt := isis.NewSimulated(isis.WithFanout(6), isis.WithResiliency(3))
+	defer rt.Shutdown()
 
 	var halts atomic.Int32
 	cfg := isis.ServiceConfig{
-		Fanout:     6,
-		Resiliency: 3,
 		RequestHandler: func(p []byte) []byte {
 			// A trivial pricing function standing in for the analytics the
 			// paper's trading analysts run.
@@ -36,14 +114,14 @@ func main() {
 		OnBroadcast: func(p []byte) { halts.Add(1) },
 	}
 
-	founder := sys.MustSpawn()
+	founder := rt.MustSpawn()
 	svc, err := founder.CreateService("quotes", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	servers := []*isis.Process{founder}
 	for i := 1; i < serviceSize; i++ {
-		p := sys.MustSpawn()
+		p := rt.MustSpawn()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if _, err := p.JoinService(ctx, "quotes", founder.ID(), cfg); err != nil {
 			log.Fatalf("server %d: %v", i, err)
@@ -51,27 +129,26 @@ func main() {
 		cancel()
 		servers = append(servers, p)
 	}
-	isis.WaitFor(5*time.Second, func() bool { return svc.Tree().TotalMembers() == serviceSize })
+	await := func(cond func() bool) {
+		wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer wcancel()
+		_ = isis.Await(wctx, cond)
+	}
+	await(func() bool { return svc.Tree().TotalMembers() == serviceSize })
 	fmt.Printf("quote service up: %d workstations in %d leaf subgroups\n",
 		svc.Tree().TotalMembers(), svc.Tree().LeafCount())
 
 	// Analyst workstations: each is a client process with its own cached
 	// binding to a leaf of the service.
-	clientHost := sys.MustSpawn()
+	clientHost := rt.MustSpawn()
 	clients := make([]*isis.ServiceClient, analysts)
 	for i := range clients {
 		clients[i] = clientHost.NewServiceClient("quotes", founder.ID())
 	}
 
-	tcfg := workload.TradingConfig{Workstations: analysts, RequestsPerClient: 4, Symbols: 128, Deadline: time.Second, Seed: 7}
-	driver := workload.Driver{Deadline: tcfg.Deadline, Concurrency: 32}
-	res := driver.Run(context.Background(), workload.TradingStreams(tcfg), func(client int) workload.RequestFunc {
-		return func(ctx context.Context, payload []byte) ([]byte, error) {
-			return clients[client].Request(ctx, payload)
-		}
-	})
+	res := runPhase(clients, 7)
 	fmt.Printf("phase 1: %d requests, p50 %v, p99 %v, %d deadline misses, %d errors\n",
-		res.Requests, res.Latency.Percentile(50), res.Latency.Percentile(99), res.DeadlineMiss, res.Errors)
+		res.requests, res.percentile(50), res.percentile(99), res.misses, res.errors)
 
 	// Market halt: one event that really must reach every server.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -80,22 +157,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	isis.WaitFor(3*time.Second, func() bool { return int(halts.Load()) >= covered })
+	await(func() bool { return int(halts.Load()) >= covered })
 	fmt.Printf("market halt broadcast covered %d servers (delivered at %d)\n", covered, halts.Load())
 
 	// A server workstation fails mid-day.
 	victim := servers[len(servers)-1]
-	sys.Crash(victim)
-	sys.InjectFailure(victim)
-	isis.WaitFor(5*time.Second, func() bool { return svc.Tree().TotalMembers() == serviceSize-1 })
+	rt.Crash(victim)
+	rt.InjectFailure(victim)
+	await(func() bool { return svc.Tree().TotalMembers() == serviceSize-1 })
 	fmt.Printf("after a server failure the service still has %d members in %d leaves\n",
 		svc.Tree().TotalMembers(), svc.Tree().LeafCount())
 
-	res = driver.Run(context.Background(), workload.TradingStreams(tcfg), func(client int) workload.RequestFunc {
-		return func(ctx context.Context, payload []byte) ([]byte, error) {
-			return clients[client].Request(ctx, payload)
-		}
-	})
+	res = runPhase(clients, 7)
 	fmt.Printf("phase 2 (after failure): %d requests, p99 %v, %d deadline misses, %d errors\n",
-		res.Requests, res.Latency.Percentile(99), res.DeadlineMiss, res.Errors)
+		res.requests, res.percentile(99), res.misses, res.errors)
 }

@@ -1,0 +1,68 @@
+// Package boot wires one process's runtime layers together — transport
+// endpoint, node actor loop, failure detector, group stack and hierarchical
+// host — in the one canonical order every deployment uses.
+//
+// Before this package existed the same wiring was written three times (the
+// public facade, the internal cluster harness and the isis-node daemon),
+// and the copies drifted. Every way of standing up a process now goes
+// through Spawn, so the in-memory simulation and the TCP deployment run
+// literally the same bootstrap code; only the transport.Network differs.
+package boot
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fdetect"
+	"repro/internal/group"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Proc is one fully wired process: its node, failure detector, flat-group
+// stack and hierarchical-group host.
+type Proc struct {
+	Node     *node.Node
+	Detector *fdetect.Detector
+	Stack    *group.Stack
+	Host     *core.Host
+
+	stopOnce sync.Once
+}
+
+// Spawn attaches a process to the network and starts its actor loop. The
+// detector's suspicions feed the group stack, and the stack's views feed the
+// detector's monitored set — identical wiring over any transport.
+func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config) (*Proc, error) {
+	n, err := node.New(pid, network)
+	if err != nil {
+		return nil, fmt.Errorf("boot %v: %w", pid, err)
+	}
+	p := &Proc{Node: n}
+	p.Detector = fdetect.New(n, det, func(suspect types.ProcessID) {
+		p.Stack.ReportSuspicion(suspect)
+	})
+	p.Stack = group.NewStack(n, p.Detector)
+	p.Host = core.NewHost(p.Stack)
+	n.Start()
+	return p, nil
+}
+
+// Stop halts the process: the detector's heartbeats end and the node's actor
+// loop exits, closing the transport endpoint. Stop is idempotent — crashing
+// a process and later shutting the whole runtime down must not stop it
+// twice.
+func (p *Proc) Stop() {
+	p.stopOnce.Do(func() {
+		p.Detector.Stop()
+		p.Node.Stop()
+	})
+}
+
+// Stopped reports whether the process has been stopped.
+func (p *Proc) Stopped() bool { return p.Node.Stopped() }
+
+// PID returns the process identifier.
+func (p *Proc) PID() types.ProcessID { return p.Node.PID() }

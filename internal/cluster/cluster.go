@@ -1,14 +1,20 @@
-// Package cluster is the shared harness for tests, benchmarks, examples and
+// Package cluster is the shared harness for internal tests, benchmarks and
 // the experiment driver: it spins up N simulated workstation processes on
-// one in-memory fabric, each with its node, failure detector and group
-// stack, and provides the waiting and fault-injection helpers the
-// experiments need.
+// one in-memory fabric and provides the waiting and fault-injection helpers
+// the experiments need.
+//
+// It is a thin adapter: all per-process wiring lives in internal/boot (the
+// same bootstrap the public facade and the TCP daemon use), and cluster only
+// adds fabric plumbing and indexed access. Application-level code should use
+// the public isis facade instead.
 package cluster
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/boot"
+	"repro/internal/core"
 	"repro/internal/fdetect"
 	"repro/internal/group"
 	"repro/internal/netsim"
@@ -32,6 +38,9 @@ type Proc struct {
 	Node     *node.Node
 	Detector *fdetect.Detector
 	Stack    *group.Stack
+	Host     *core.Host
+
+	boot *boot.Proc
 }
 
 // Cluster is a set of simulated processes sharing one fabric.
@@ -73,26 +82,11 @@ func MustNew(n int, opts Options) *Cluster {
 func (c *Cluster) AddProcess() (*Proc, error) {
 	c.nextSite++
 	pid := types.ProcessID{Site: types.SiteID(c.nextSite), Incarnation: 1}
-	return c.addProcessWithID(pid)
-}
-
-func (c *Cluster) addProcessWithID(pid types.ProcessID) (*Proc, error) {
-	n, err := node.New(pid, c.Net)
+	bp, err := boot.Spawn(pid, c.Net, c.opts.Detector)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: add process %v: %w", pid, err)
 	}
-	p := &Proc{ID: pid, Node: n}
-	var det *fdetect.Detector
-	var stack *group.Stack
-	// The detector's suspicion callback runs on the actor goroutine and
-	// feeds the group stack directly.
-	det = fdetect.New(n, c.opts.Detector, func(suspect types.ProcessID) {
-		stack.ReportSuspicion(suspect)
-	})
-	stack = group.NewStack(n, det)
-	p.Detector = det
-	p.Stack = stack
-	n.Start()
+	p := &Proc{ID: pid, Node: bp.Node, Detector: bp.Detector, Stack: bp.Stack, Host: bp.Host, boot: bp}
 	c.Procs = append(c.Procs, p)
 	return p, nil
 }
@@ -112,8 +106,7 @@ func (c *Cluster) PIDs() []types.ProcessID {
 // Stop shuts every process down.
 func (c *Cluster) Stop() {
 	for _, p := range c.Procs {
-		p.Detector.Stop()
-		p.Node.Stop()
+		p.boot.Stop()
 	}
 }
 
@@ -124,8 +117,7 @@ func (c *Cluster) Stop() {
 func (c *Cluster) Crash(i int) {
 	p := c.Procs[i]
 	c.Fabric.Crash(p.ID)
-	p.Detector.Stop()
-	p.Node.Stop()
+	p.boot.Stop()
 }
 
 // InjectFailure tells every *other* live process that the i'th process has

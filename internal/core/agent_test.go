@@ -29,7 +29,7 @@ func buildService(t *testing.T, c *cluster.Cluster, n int, cfgFor func(i int) co
 	hosts := make([]*core.Host, n)
 	agents := make([]*core.Agent, n)
 	for i := 0; i < n; i++ {
-		hosts[i] = core.NewHost(c.Proc(i).Stack)
+		hosts[i] = c.Proc(i).Host
 	}
 	var err error
 	agents[0], err = hosts[0].Create("svc", cfgFor(0))
@@ -58,7 +58,7 @@ func echoCfg(fanout, resiliency int) core.Config {
 func TestCreateLargeGroupFounder(t *testing.T) {
 	c := cluster.MustNew(1, cluster.Options{})
 	defer c.Stop()
-	h := core.NewHost(c.Proc(0).Stack)
+	h := c.Proc(0).Host
 	a, err := h.Create("svc", echoCfg(4, 2))
 	if err != nil {
 		t.Fatal(err)
@@ -463,8 +463,8 @@ func TestRequestAfterLeafCoordinatorFailure(t *testing.T) {
 func TestHostJoinUnknownServiceFails(t *testing.T) {
 	c := cluster.MustNew(2, cluster.Options{})
 	defer c.Stop()
-	_ = core.NewHost(c.Proc(0).Stack)
-	h1 := core.NewHost(c.Proc(1).Stack)
+	_ = c.Proc(0).Host
+	h1 := c.Proc(1).Host
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
 	if _, err := h1.Join(ctx, "ghost", c.Proc(0).ID, echoCfg(4, 2)); err == nil {
@@ -475,7 +475,7 @@ func TestHostJoinUnknownServiceFails(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	c := cluster.MustNew(1, cluster.Options{})
 	defer c.Stop()
-	h := core.NewHost(c.Proc(0).Stack)
+	h := c.Proc(0).Host
 	if _, err := h.Create("bad", core.Config{Fanout: 2, Resiliency: 5}); err == nil {
 		t.Error("resiliency > fanout accepted")
 	}

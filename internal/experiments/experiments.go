@@ -129,7 +129,7 @@ func buildHierService(n, fanout, resiliency int, onBroadcast func()) (*hierServi
 	}
 	hosts := make([]*core.Host, n)
 	for i := 0; i < n; i++ {
-		hosts[i] = core.NewHost(c.Proc(i).Stack)
+		hosts[i] = c.Proc(i).Host
 	}
 	hs.agents[0], err = hosts[0].Create("hier-svc", cfg)
 	if err != nil {
@@ -631,7 +631,7 @@ func E8SplitMerge(s Scale) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		h := core.NewHost(p.Stack)
+		h := p.Host
 		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 		_, err = h.Join(ctx, "hier-svc", hs.c.Proc(0).ID, core.Config{
 			Fanout: fanout, Resiliency: resiliency,

@@ -1,0 +1,163 @@
+package group
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/member"
+)
+
+// Buffer sizes for event subscriptions. Views are latest-wins state, so a
+// small buffer suffices; deliveries are a stream, so the buffer is sized to
+// ride out a slow consumer during a burst.
+const (
+	viewBuffer     = 16
+	deliveryBuffer = 256
+)
+
+// eventSub is one subscriber channel. The channel is written from the actor
+// goroutine and closed from whichever side ends the subscription first (a
+// cancelled context, the process leaving the group, or the node stopping),
+// so both operations go through a mutex and a closed flag.
+type eventSub[T any] struct {
+	mu     sync.Mutex
+	ch     chan T
+	closed bool
+}
+
+// send delivers v without ever blocking the actor goroutine: when the buffer
+// is full the oldest queued event is dropped to make room, so a stalled
+// subscriber sees the most recent events rather than an ever-older prefix.
+func (s *eventSub[T]) send(v T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- v:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+		default:
+		}
+	}
+}
+
+func (s *eventSub[T]) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// Views returns a channel of membership views. The subscriber immediately
+// receives the currently installed view (if any) and then every subsequently
+// installed view, until ctx is cancelled, the process leaves the group, or
+// the node stops — at which point the channel is closed. A slow subscriber
+// loses older views, never the newest one. Like the other blocking Group
+// calls, Views must not be invoked from the actor goroutine (delivery/view
+// callbacks); events occurring after it returns are guaranteed to be seen.
+func (g *Group) Views(ctx context.Context) <-chan member.View {
+	s := &eventSub[member.View]{ch: make(chan member.View, viewBuffer)}
+	g.subscribe(ctx, func() {
+		if g.viewSubs == nil {
+			g.viewSubs = make(map[*eventSub[member.View]]struct{})
+		}
+		g.viewSubs[s] = struct{}{}
+		if g.joined && !g.closed {
+			s.send(g.view.Clone())
+		}
+	}, func() {
+		delete(g.viewSubs, s)
+	}, s.close)
+	return s.ch
+}
+
+// Deliveries returns a channel of delivered multicasts. Events arrive in
+// delivery order until ctx is cancelled, the process leaves the group, or
+// the node stops — at which point the channel is closed. If the subscriber
+// falls more than the buffer behind, the oldest undelivered events are
+// dropped; consumers that must see every delivery should drain promptly (or
+// use Config.OnDeliver, which is invoked synchronously for every delivery).
+// Like the other blocking Group calls, Deliveries must not be invoked from
+// the actor goroutine; deliveries occurring after it returns are guaranteed
+// to be seen.
+func (g *Group) Deliveries(ctx context.Context) <-chan Delivery {
+	s := &eventSub[Delivery]{ch: make(chan Delivery, deliveryBuffer)}
+	g.subscribe(ctx, func() {
+		if g.delSubs == nil {
+			g.delSubs = make(map[*eventSub[Delivery]]struct{})
+		}
+		g.delSubs[s] = struct{}{}
+	}, func() {
+		delete(g.delSubs, s)
+	}, s.close)
+	return s.ch
+}
+
+// subscribe registers a subscription on the actor goroutine and arranges for
+// it to be torn down when ctx ends, the member leaves, or the node stops.
+// add and remove run on the actor goroutine; closeCh is safe from anywhere.
+// Registration is synchronous (like every other blocking Group call, it must
+// not be invoked from the actor goroutine itself) so that events caused
+// after the method returns are never missed.
+func (g *Group) subscribe(ctx context.Context, add, remove, closeCh func()) {
+	n := g.stack.node
+	if err := n.Call(func() {
+		if g.closed {
+			closeCh()
+			return
+		}
+		add()
+	}); err != nil {
+		// The node already stopped; no event can ever arrive.
+		closeCh()
+		return
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Unregister on the actor so no further sends occur, then close.
+			n.Do(remove)
+		case <-g.leftC:
+			// markLeft cleared the subscriber maps on the actor already.
+		case <-n.StopC():
+			// The actor loop is gone; nobody can send anymore.
+		}
+		closeCh()
+	}()
+}
+
+// emitView fans a newly installed view out to subscribers. Actor goroutine
+// only.
+func (g *Group) emitView(v member.View) {
+	for s := range g.viewSubs {
+		s.send(v.Clone())
+	}
+}
+
+// emitDelivery fans a delivery out to subscribers. Actor goroutine only.
+func (g *Group) emitDelivery(d Delivery) {
+	for s := range g.delSubs {
+		s.send(d)
+	}
+}
+
+// dropSubscribers ends every subscription (on leave/removal). Actor
+// goroutine only.
+func (g *Group) dropSubscribers() {
+	for s := range g.viewSubs {
+		s.close()
+	}
+	g.viewSubs = nil
+	for s := range g.delSubs {
+		s.close()
+	}
+	g.delSubs = nil
+}

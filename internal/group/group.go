@@ -53,6 +53,12 @@ type Group struct {
 	leftC     chan struct{}
 	leftSet   bool
 
+	// Event subscriptions (Views/Deliveries). The maps are actor-owned; the
+	// individual subs carry their own locks so they can be closed from the
+	// subscriber side too.
+	viewSubs map[*eventSub[member.View]]struct{}
+	delSubs  map[*eventSub[Delivery]]struct{}
+
 	snapMu     sync.Mutex
 	snap       member.View
 	closedSnap bool
@@ -161,6 +167,7 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 	if g.cfg.OnView != nil {
 		g.cfg.OnView(v.Clone())
 	}
+	g.emitView(v)
 
 	// Replay casts that arrived for this view before the install did.
 	future := g.futureCasts
@@ -186,6 +193,7 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 // markLeft finalises removal of the local process from the group.
 func (g *Group) markLeft() {
 	g.closed = true
+	g.dropSubscribers()
 	g.snapMu.Lock()
 	g.closedSnap = true
 	g.snapMu.Unlock()
@@ -671,10 +679,10 @@ func (g *Group) onOrder(m *types.Message) {
 }
 
 func (g *Group) deliver(m *types.Message) {
-	if g.cfg.OnDeliver == nil {
+	if g.cfg.OnDeliver == nil && len(g.delSubs) == 0 {
 		return
 	}
-	g.cfg.OnDeliver(Delivery{
+	d := Delivery{
 		Group:    g.id,
 		View:     m.View,
 		From:     m.ID.Sender,
@@ -682,7 +690,11 @@ func (g *Group) deliver(m *types.Message) {
 		Ordering: m.Ordering,
 		Seq:      m.Seq,
 		Payload:  m.Payload,
-	})
+	}
+	if g.cfg.OnDeliver != nil {
+		g.cfg.OnDeliver(d)
+	}
+	g.emitDelivery(d)
 }
 
 func (g *Group) recheckPendingInstall() {

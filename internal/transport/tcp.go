@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 
 	"repro/internal/types"
@@ -16,17 +17,22 @@ import (
 // integration tests. Each attached process runs one listener; outbound
 // connections are established lazily per destination and reused.
 //
-// Peer discovery is static: the caller registers the listen address of every
-// peer process with AddPeer (mirroring the static site tables early ISIS
-// used). Messages to unknown peers fail with ErrNoSuchProcess.
+// Peer discovery is bootstrapped statically and extended dynamically: the
+// caller registers the listen address of at least one contact with AddPeer
+// (mirroring the static site tables early ISIS used), and every outbound
+// connection's first frame carries the dialer's identity and listen address
+// so the accepting side learns the return route. A joiner therefore only
+// needs its contact's address; everyone it talks to learns it back.
+// Messages to peers known by neither mechanism fail with ErrNoSuchProcess.
 type TCP struct {
 	mu    sync.RWMutex
 	peers map[types.ProcessID]string // pid -> host:port
+	local map[types.ProcessID]bool   // pids attached to this network
 }
 
 // NewTCP creates an empty TCP network.
 func NewTCP() *TCP {
-	return &TCP{peers: make(map[types.ProcessID]string)}
+	return &TCP{peers: make(map[types.ProcessID]string), local: make(map[types.ProcessID]bool)}
 }
 
 // AddPeer registers the listen address of a process.
@@ -42,6 +48,21 @@ func (t *TCP) PeerAddr(pid types.ProcessID) (string, bool) {
 	defer t.mu.RUnlock()
 	a, ok := t.peers[pid]
 	return a, ok
+}
+
+// markLocal records that pid is served by an endpoint attached to this
+// network, protecting its route from being overwritten by hello frames.
+func (t *TCP) markLocal(pid types.ProcessID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.local[pid] = true
+}
+
+// isLocal reports whether pid is attached to this network.
+func (t *TCP) isLocal(pid types.ProcessID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.local[pid]
 }
 
 // Attach starts a listener on an ephemeral local port for pid and registers
@@ -64,21 +85,28 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 		conns: make(map[types.ProcessID]*tcpConn),
 		done:  make(chan struct{}),
 	}
+	t.markLocal(pid)
 	t.AddPeer(pid, ln.Addr().String())
 	go ep.acceptLoop()
 	return ep, nil
 }
 
 // wireMessage is the gob-encoded frame. It mirrors types.Message but keeps
-// the wire format independent of internal struct evolution.
+// the wire format independent of internal struct evolution. The Hello fields
+// are set on the first frame of every outbound connection: they announce the
+// dialer's process id and listen address so the accepting endpoint can route
+// replies without static peer configuration.
 type wireMessage struct {
-	Msg types.Message
+	Msg       types.Message
+	HelloFrom types.ProcessID
+	HelloAddr string
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	helloSent bool
 }
 
 type tcpEndpoint struct {
@@ -119,6 +147,12 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 				// Connection torn down; the peer will reconnect if needed.
 			}
 			return
+		}
+		// A hello claiming the identity of a locally attached process is a
+		// misconfiguration (duplicate site id); never let it hijack the
+		// local route.
+		if !wm.HelloFrom.IsNil() && wm.HelloAddr != "" && !e.net.isLocal(wm.HelloFrom) {
+			e.net.AddPeer(wm.HelloFrom, wm.HelloAddr)
 		}
 		m := wm.Msg
 		select {
@@ -162,7 +196,12 @@ func (e *tcpEndpoint) Send(msg *types.Message) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(wireMessage{Msg: *msg}); err != nil {
+	wm := wireMessage{Msg: *msg}
+	if !c.helloSent {
+		wm.HelloFrom = e.pid
+		wm.HelloAddr = e.advertiseAddr(c.conn)
+	}
+	if err := c.enc.Encode(wm); err != nil {
 		// Drop the broken connection so the next send redials.
 		e.mu.Lock()
 		if e.conns[msg.To] == c {
@@ -172,7 +211,25 @@ func (e *tcpEndpoint) Send(msg *types.Message) error {
 		c.conn.Close()
 		return fmt.Errorf("tcp transport send to %v: %w", msg.To, err)
 	}
+	c.helloSent = true
 	return nil
+}
+
+// advertiseAddr is the listen address announced in hello frames. A listener
+// bound to a specific host advertises it as-is; a wildcard listener
+// ("0.0.0.0:p" / "[::]:p") is undialable from the peer, so the host is
+// replaced by the local address of the connection toward that peer, which is
+// the interface the peer can actually reach back.
+func (e *tcpEndpoint) advertiseAddr(conn net.Conn) string {
+	lnAddr, ok := e.ln.Addr().(*net.TCPAddr)
+	if !ok || (lnAddr.IP != nil && !lnAddr.IP.IsUnspecified()) {
+		return e.ln.Addr().String()
+	}
+	local, ok := conn.LocalAddr().(*net.TCPAddr)
+	if !ok {
+		return e.ln.Addr().String()
+	}
+	return net.JoinHostPort(local.IP.String(), strconv.Itoa(lnAddr.Port))
 }
 
 func (e *tcpEndpoint) Close() error {

@@ -29,3 +29,12 @@ type Network interface {
 	// Attach creates the endpoint for a process.
 	Attach(pid types.ProcessID) (Endpoint, error)
 }
+
+// Fixed is a single-use Network handing out one already-attached endpoint.
+// Deployments that need to control attachment parameters (for example the
+// TCP listen address) attach the endpoint themselves and wrap it in a Fixed
+// so the standard bootstrap path still works.
+type Fixed struct{ Endpoint Endpoint }
+
+// Attach implements Network by returning the wrapped endpoint.
+func (f Fixed) Attach(types.ProcessID) (Endpoint, error) { return f.Endpoint, nil }

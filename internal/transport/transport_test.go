@@ -150,6 +150,88 @@ func TestTCPSendAfterClose(t *testing.T) {
 	}
 }
 
+// TestTCPHelloLearnsReturnRoute models two separate daemons: each has its
+// own TCP network, and only the joiner knows the founder's address. The
+// founder must still be able to reply, because the joiner's first frame
+// announces its identity and listen address.
+func TestTCPHelloLearnsReturnRoute(t *testing.T) {
+	founderNet := NewTCP()
+	joinerNet := NewTCP()
+
+	founder, err := founderNet.AttachAt(pid(1), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer founder.Close()
+	joiner, err := joinerNet.AttachAt(pid(2), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	founderAddr, _ := founderNet.PeerAddr(pid(1))
+	joinerNet.AddPeer(pid(1), founderAddr)
+
+	if err := joiner.Send(&types.Message{Kind: types.KindRequest, From: pid(2), To: pid(1), Payload: []byte("join")}); err != nil {
+		t.Fatal(err)
+	}
+	got := waitMsg(t, founder)
+	if string(got.Payload) != "join" {
+		t.Fatalf("founder got %v", got)
+	}
+	// The founder never called AddPeer for the joiner; the hello frame must
+	// have registered the return route.
+	if addr, ok := founderNet.PeerAddr(pid(2)); !ok || addr == "" {
+		t.Fatalf("founder did not learn joiner address (addr=%q ok=%v)", addr, ok)
+	}
+	if err := founder.Send(&types.Message{Kind: types.KindReply, From: pid(1), To: pid(2), Payload: []byte("placed")}); err != nil {
+		t.Fatal(err)
+	}
+	back := waitMsg(t, joiner)
+	if string(back.Payload) != "placed" {
+		t.Fatalf("joiner got %v", back)
+	}
+}
+
+// TestTCPHelloWildcardListenerAdvertisesDialableAddr pins the hello address
+// rewrite: a joiner listening on the wildcard host must not advertise
+// "[::]:port" (undialable from the peer) but the interface the peer can
+// reach back — on loopback, 127.0.0.1 with the listener's port.
+func TestTCPHelloWildcardListenerAdvertisesDialableAddr(t *testing.T) {
+	founderNet := NewTCP()
+	joinerNet := NewTCP()
+
+	founder, err := founderNet.AttachAt(pid(1), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer founder.Close()
+	joiner, err := joinerNet.AttachAt(pid(2), ":0") // wildcard host
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	founderAddr, _ := founderNet.PeerAddr(pid(1))
+	joinerNet.AddPeer(pid(1), founderAddr)
+
+	if err := joiner.Send(&types.Message{Kind: types.KindRequest, From: pid(2), To: pid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, founder)
+	addr, ok := founderNet.PeerAddr(pid(2))
+	if !ok {
+		t.Fatal("founder did not learn joiner address")
+	}
+	// The learned address must be dialable: replying must succeed and arrive.
+	if err := founder.Send(&types.Message{Kind: types.KindReply, From: pid(1), To: pid(2), Payload: []byte("ok")}); err != nil {
+		t.Fatalf("reply to learned addr %q: %v", addr, err)
+	}
+	if got := waitMsg(t, joiner); string(got.Payload) != "ok" {
+		t.Fatalf("joiner got %v via %q", got, addr)
+	}
+}
+
 func TestTCPAttachAtFixedAddress(t *testing.T) {
 	tn := NewTCP()
 	ep, err := tn.AttachAt(pid(7), "127.0.0.1:0")

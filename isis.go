@@ -5,10 +5,15 @@
 // It exposes the toolkit-level programming model application programmers
 // use:
 //
-//   - a System is a network of simulated workstations (or a TCP deployment);
+//   - a Runtime is a deployment substrate — either a network of simulated
+//     workstations (NewSimulated) or a real TCP deployment (NewTCP) — and is
+//     the only thing that differs between the two; every API below it is
+//     transport-agnostic, which is the paper's central claim;
 //   - a Process is one workstation-resident process;
 //   - flat Groups provide the classic small-scale ISIS abstraction —
-//     virtually synchronous membership plus FBCAST/CBCAST/ABCAST multicast;
+//     virtually synchronous membership plus FBCAST/CBCAST/ABCAST multicast —
+//     with Views and Deliveries event channels for blocking on membership
+//     and message events;
 //   - Services are the paper's contribution: hierarchical ("large") process
 //     groups with bounded fanout, a resilient leader group, request routing
 //     to individual leaf subgroups and tree-structured whole-group
@@ -21,16 +26,18 @@ package isis
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/fdetect"
 	"repro/internal/group"
 	"repro/internal/member"
 	"repro/internal/naming"
 	"repro/internal/netsim"
-	"repro/internal/node"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -65,6 +72,10 @@ type (
 	Directory = naming.Directory
 	// Resolver is a name-service client.
 	Resolver = naming.Resolver
+	// NetworkConfig configures the simulated workstation network.
+	NetworkConfig = netsim.Config
+	// DetectorConfig configures heartbeat-based failure detection.
+	DetectorConfig = fdetect.Config
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -75,167 +86,400 @@ const (
 	ABCAST    = types.Total
 )
 
-// Config configures a System.
-type Config struct {
-	// Network configures the simulated workstation network.
-	Network netsim.Config
-	// Detector configures failure detection. The zero value disables
-	// heartbeats (failures must be injected); use DefaultDetector for
-	// interactive use.
-	Detector fdetect.Config
-}
-
 // DefaultDetector returns heartbeat-based failure detection suitable for
 // demos and examples.
-func DefaultDetector() fdetect.Config { return fdetect.DefaultConfig() }
+func DefaultDetector() DetectorConfig { return fdetect.DefaultConfig() }
 
-// System is a collection of simulated workstation processes sharing one
-// network fabric.
-type System struct {
-	cfg      Config
-	fabric   *netsim.Fabric
-	net      *transport.Memory
-	procs    []*Process
-	nextSite uint32
+// Site returns the ProcessID of the first-incarnation process on the given
+// site. TCP deployments, whose site ids are assigned by the operator, use it
+// to name contact processes.
+func Site(site uint32) ProcessID {
+	return ProcessID{Site: types.SiteID(site), Incarnation: 1}
 }
 
-// NewSystem creates an empty system.
-func NewSystem(cfg Config) *System {
-	fabric := netsim.New(cfg.Network)
-	return &System{cfg: cfg, fabric: fabric, net: transport.NewMemory(fabric)}
+// ErrWrongTransport is returned by Runtime methods that only apply to one
+// deployment substrate (for example SpawnAt and AddPeer, which are
+// TCP-only).
+var ErrWrongTransport = errors.New("isis: operation not supported by this runtime's transport")
+
+// --- options -----------------------------------------------------------------
+
+// Option configures a Runtime.
+type Option func(*options)
+
+type options struct {
+	netsim     NetworkConfig
+	detector   DetectorConfig
+	fanout     int
+	resiliency int
+}
+
+// WithNetwork fully configures the simulated network fabric (latency model,
+// loss, seed, queue lengths). It is ignored by TCP runtimes.
+func WithNetwork(cfg NetworkConfig) Option {
+	return func(o *options) { o.netsim = cfg }
+}
+
+// WithLatency sets the simulated one-way delivery latency and jitter.
+func WithLatency(base, jitter time.Duration) Option {
+	return func(o *options) {
+		o.netsim.BaseLatency = base
+		o.netsim.Jitter = jitter
+	}
+}
+
+// WithLoss sets the simulated message-loss probability in [0,1).
+func WithLoss(rate float64) Option {
+	return func(o *options) { o.netsim.LossRate = rate }
+}
+
+// WithSeed seeds the simulated network's random source so experiments are
+// reproducible.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.netsim.Seed = seed }
+}
+
+// WithDetector configures failure detection for every spawned process. The
+// zero DetectorConfig disables heartbeats (failures must then be injected).
+func WithDetector(cfg DetectorConfig) Option {
+	return func(o *options) { o.detector = cfg }
+}
+
+// WithHeartbeats enables the default heartbeat-based failure detection
+// (DefaultDetector). Interactive deployments — demos and real TCP nodes —
+// want this; message-counting experiments do not.
+func WithHeartbeats() Option {
+	return func(o *options) { o.detector = fdetect.DefaultConfig() }
+}
+
+// WithFanout sets the default fanout bound used by CreateService/JoinService
+// when the ServiceConfig leaves Fanout zero.
+func WithFanout(n int) Option {
+	return func(o *options) { o.fanout = n }
+}
+
+// WithResiliency sets the default resiliency (acknowledgements / replicas)
+// used by CreateGroup/JoinGroup and CreateService/JoinService when their
+// configs leave Resiliency zero.
+func WithResiliency(n int) Option {
+	return func(o *options) { o.resiliency = n }
+}
+
+// --- runtime -----------------------------------------------------------------
+
+// Runtime is a collection of processes sharing one deployment substrate.
+// The same Runtime API drives both substrates; programs written against it
+// run unchanged over the in-memory simulation and over TCP.
+type Runtime struct {
+	opts   options
+	net    transport.Network
+	fabric *netsim.Fabric // simulated runtimes only
+	tcp    *transport.TCP // TCP runtimes only
+
+	mu       sync.Mutex
+	procs    []*Process
+	nextSite uint32
+	sites    map[uint32]siteUse
+}
+
+// siteUse records how a site id came to be known to the runtime, so Spawn
+// never auto-assigns a site already claimed by SpawnAt or AddPeer (which
+// would hijack the peer route or duplicate a ProcessID).
+type siteUse uint8
+
+const (
+	siteLocal siteUse = 1 + iota // a process spawned in this runtime
+	sitePeer                     // a remote peer registered with AddPeer
+)
+
+// NewSimulated creates a runtime on a simulated in-memory network of
+// workstations, the substrate used by tests, benchmarks and experiments.
+func NewSimulated(opts ...Option) *Runtime {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	fabric := netsim.New(o.netsim)
+	return &Runtime{opts: o, fabric: fabric, net: transport.NewMemory(fabric), sites: make(map[uint32]siteUse)}
+}
+
+// NewTCP creates a runtime whose processes communicate over real TCP
+// sockets. Within one operating-system process, Spawn creates loopback
+// listeners on ephemeral ports and peers discover each other automatically;
+// multi-machine deployments use SpawnAt and AddPeer for explicit addressing
+// (one isis-node daemon per workstation).
+func NewTCP(opts ...Option) *Runtime {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Runtime{opts: o, tcp: transport.NewTCP(), sites: make(map[uint32]siteUse)}
+}
+
+// Transport names the runtime's deployment substrate: "memory" or "tcp".
+func (r *Runtime) Transport() string {
+	if r.tcp != nil {
+		return "tcp"
+	}
+	return "memory"
 }
 
 // Fabric exposes the underlying simulated network (fault injection and
-// message accounting).
-func (s *System) Fabric() *netsim.Fabric { return s.fabric }
+// message accounting). It returns nil for TCP runtimes.
+func (r *Runtime) Fabric() *netsim.Fabric { return r.fabric }
 
-// Stats returns the fabric's message counters.
-func (s *System) Stats() Stats { return s.fabric.Stats() }
+// Stats returns the simulated fabric's message counters; TCP runtimes have
+// no global observer and report zero counters.
+func (r *Runtime) Stats() Stats {
+	if r.fabric == nil {
+		return Stats{}
+	}
+	return r.fabric.Stats()
+}
 
 // Processes returns every process spawned so far.
-func (s *System) Processes() []*Process { return append([]*Process(nil), s.procs...) }
+func (r *Runtime) Processes() []*Process {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Process(nil), r.procs...)
+}
 
-// Shutdown stops every process.
-func (s *System) Shutdown() {
-	for _, p := range s.procs {
+// Shutdown stops every process. Processes already stopped (for example by
+// Crash) are skipped; stopping is idempotent.
+func (r *Runtime) Shutdown() {
+	for _, p := range r.Processes() {
 		p.Stop()
 	}
 }
 
-// Process is one workstation-resident process.
-type Process struct {
-	node     *node.Node
-	detector *fdetect.Detector
-	stack    *group.Stack
-	host     *core.Host
-}
+// Spawn creates a new process on the runtime's network with an
+// automatically assigned site id. On TCP runtimes the process listens on an
+// ephemeral loopback port and is registered with every process sharing this
+// Runtime value.
+func (r *Runtime) Spawn() (*Process, error) {
+	r.mu.Lock()
+	r.nextSite++
+	for r.sites[r.nextSite] != 0 {
+		r.nextSite++
+	}
+	r.sites[r.nextSite] = siteLocal
+	pid := ProcessID{Site: types.SiteID(r.nextSite), Incarnation: 1}
+	r.mu.Unlock()
 
-// Spawn creates a new process on the system's network.
-func (s *System) Spawn() (*Process, error) {
-	s.nextSite++
-	pid := types.ProcessID{Site: types.SiteID(s.nextSite), Incarnation: 1}
-	n, err := node.New(pid, s.net)
+	network := r.net
+	if r.tcp != nil {
+		network = r.tcp
+	}
+	bp, err := boot.Spawn(pid, network, r.opts.detector)
 	if err != nil {
+		r.mu.Lock()
+		delete(r.sites, uint32(pid.Site))
+		r.mu.Unlock()
 		return nil, fmt.Errorf("isis: spawn: %w", err)
 	}
-	p := &Process{node: n}
-	p.detector = fdetect.New(n, s.cfg.Detector, func(suspect types.ProcessID) {
-		p.stack.ReportSuspicion(suspect)
-	})
-	p.stack = group.NewStack(n, p.detector)
-	p.host = core.NewHost(p.stack)
-	n.Start()
-	s.procs = append(s.procs, p)
-	return p, nil
+	return r.adopt(bp), nil
 }
 
 // MustSpawn is Spawn for examples and tests that cannot proceed on error.
-func (s *System) MustSpawn() *Process {
-	p, err := s.Spawn()
+func (r *Runtime) MustSpawn() *Process {
+	p, err := r.Spawn()
 	if err != nil {
 		panic(err)
 	}
 	return p
 }
 
-// Crash simulates a workstation power failure for p: the network stops
-// delivering to it and its runtime halts.
-func (s *System) Crash(p *Process) {
-	s.fabric.Crash(p.ID())
+// SpawnAt creates a process with an explicit site id listening at the given
+// TCP address ("host:port"). It is how isis-node daemons — one per
+// workstation — attach to a deployment. It fails with ErrWrongTransport on
+// simulated runtimes.
+func (r *Runtime) SpawnAt(site uint32, listen string) (*Process, error) {
+	if r.tcp == nil {
+		return nil, fmt.Errorf("isis: SpawnAt(%d, %q): %w", site, listen, ErrWrongTransport)
+	}
+	r.mu.Lock()
+	if r.sites[site] != 0 {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("isis: SpawnAt(%d, %q): site id already in use", site, listen)
+	}
+	r.sites[site] = siteLocal
+	r.mu.Unlock()
+	release := func() {
+		r.mu.Lock()
+		delete(r.sites, site)
+		r.mu.Unlock()
+	}
+	pid := Site(site)
+	ep, err := r.tcp.AttachAt(pid, listen)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
+	}
+	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector)
+	if err != nil {
+		_ = ep.Close()
+		release()
+		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
+	}
+	return r.adopt(bp), nil
+}
+
+// AddPeer registers the listen address of a process running elsewhere (in
+// another isis-node daemon). It fails with ErrWrongTransport on simulated
+// runtimes, where all processes share one fabric and need no registration.
+func (r *Runtime) AddPeer(site uint32, addr string) error {
+	if r.tcp == nil {
+		return fmt.Errorf("isis: AddPeer(%d, %q): %w", site, addr, ErrWrongTransport)
+	}
+	r.mu.Lock()
+	if r.sites[site] == siteLocal {
+		r.mu.Unlock()
+		return fmt.Errorf("isis: AddPeer(%d, %q): site id belongs to a local process", site, addr)
+	}
+	r.sites[site] = sitePeer
+	r.mu.Unlock()
+	r.tcp.AddPeer(Site(site), addr)
+	return nil
+}
+
+func (r *Runtime) adopt(bp *boot.Proc) *Process {
+	p := &Process{rt: r, boot: bp}
+	r.mu.Lock()
+	r.procs = append(r.procs, p)
+	r.mu.Unlock()
+	return p
+}
+
+// Crash simulates a workstation power failure for p: on the simulated
+// fabric the network additionally stops delivering to it; in all cases its
+// runtime halts. Stopping is idempotent, so a later Shutdown is safe.
+func (r *Runtime) Crash(p *Process) {
+	if r.fabric != nil {
+		r.fabric.Crash(p.ID())
+	}
 	p.Stop()
 }
 
-// InjectFailure tells every other process that p has failed, without waiting
-// for failure-detection timeouts.
-func (s *System) InjectFailure(p *Process) {
+// InjectFailure tells every other process in this runtime that p has
+// failed, without waiting for failure-detection timeouts.
+func (r *Runtime) InjectFailure(p *Process) {
 	failed := p.ID()
-	for _, q := range s.procs {
-		if q == p || q.node.Stopped() {
+	for _, q := range r.Processes() {
+		if q == p || q.boot.Stopped() {
 			continue
 		}
-		stack := q.stack
-		q.node.Do(func() { stack.ReportSuspicion(failed) })
+		stack := q.boot.Stack
+		q.boot.Node.Do(func() { stack.ReportSuspicion(failed) })
 	}
 }
 
-// ID returns the process identifier.
-func (p *Process) ID() ProcessID { return p.node.PID() }
+// --- process -----------------------------------------------------------------
 
-// Stop halts the process.
-func (p *Process) Stop() {
-	p.detector.Stop()
-	p.node.Stop()
+// Process is one workstation-resident process.
+type Process struct {
+	rt   *Runtime
+	boot *boot.Proc
 }
+
+// ID returns the process identifier.
+func (p *Process) ID() ProcessID { return p.boot.PID() }
+
+// Addr returns the process's TCP listen address, or "" on the simulated
+// substrate.
+func (p *Process) Addr() string {
+	type addresser interface{ Addr() string }
+	if a, ok := p.boot.Node.Endpoint().(addresser); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// Stop halts the process. Stop is idempotent.
+func (p *Process) Stop() { p.boot.Stop() }
+
+// Stopped reports whether the process has been stopped.
+func (p *Process) Stopped() bool { return p.boot.Stopped() }
 
 // CreateGroup founds a flat process group with this process as its first
 // member.
 func (p *Process) CreateGroup(name string, cfg GroupConfig) (*Group, error) {
-	return p.stack.Create(types.FlatGroup(name), cfg)
+	return p.boot.Stack.Create(types.FlatGroup(name), p.groupDefaults(cfg))
 }
 
 // JoinGroup joins an existing flat group via any current member.
 func (p *Process) JoinGroup(ctx context.Context, name string, contact ProcessID, cfg GroupConfig) (*Group, error) {
-	return p.stack.Join(ctx, types.FlatGroup(name), contact, cfg)
+	return p.boot.Stack.Join(ctx, types.FlatGroup(name), contact, p.groupDefaults(cfg))
 }
 
 // CreateService founds a hierarchical large-group service with this process
 // as its first member (and first leader-group member).
 func (p *Process) CreateService(name string, cfg ServiceConfig) (*Service, error) {
-	return p.host.Create(name, cfg)
+	return p.boot.Host.Create(name, p.serviceDefaults(cfg))
 }
 
 // JoinService adds this process to an existing hierarchical service via any
 // process already participating in it.
 func (p *Process) JoinService(ctx context.Context, name string, contact ProcessID, cfg ServiceConfig) (*Service, error) {
-	return p.host.Join(ctx, name, contact, cfg)
+	return p.boot.Host.Join(ctx, name, contact, p.serviceDefaults(cfg))
 }
 
 // NewServiceClient creates a client of the named hierarchical service,
 // reachable through the given entry process.
 func (p *Process) NewServiceClient(name string, entry ProcessID) *ServiceClient {
-	return core.NewClient(p.node, name, entry)
+	return core.NewClient(p.boot.Node, name, entry)
 }
 
 // NewDirectory makes this process a name-service replica.
 func (p *Process) NewDirectory(peers []ProcessID) *Directory {
-	return naming.NewDirectory(p.node, peers)
+	return naming.NewDirectory(p.boot.Node, peers)
 }
 
 // NewResolver creates a name-service client bound to the given directory
 // replica.
 func (p *Process) NewResolver(directory ProcessID) *Resolver {
-	return naming.NewResolver(p.node, directory)
+	return naming.NewResolver(p.boot.Node, directory)
 }
 
-// WaitFor polls cond until it returns true or the timeout expires; a
-// convenience for examples that need to wait for views or deliveries.
-func WaitFor(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return true
-		}
-		time.Sleep(2 * time.Millisecond)
+func (p *Process) groupDefaults(cfg GroupConfig) GroupConfig {
+	if cfg.Resiliency == 0 && p.rt.opts.resiliency > 0 {
+		cfg.Resiliency = p.rt.opts.resiliency
 	}
-	return cond()
+	return cfg
+}
+
+func (p *Process) serviceDefaults(cfg ServiceConfig) ServiceConfig {
+	if cfg.Fanout == 0 && p.rt.opts.fanout > 0 {
+		cfg.Fanout = p.rt.opts.fanout
+	}
+	if cfg.Resiliency == 0 && p.rt.opts.resiliency > 0 {
+		cfg.Resiliency = p.rt.opts.resiliency
+	}
+	return cfg
+}
+
+// --- waiting -----------------------------------------------------------------
+
+// Await blocks until cond returns true or ctx ends, re-evaluating cond at a
+// small fixed interval. It is the context-aware replacement for the old
+// WaitFor(timeout, cond) polling idiom; conditions tied to group events
+// should prefer blocking on the Group.Views and Group.Deliveries channels.
+func Await(ctx context.Context, cond func() bool) error {
+	if cond() {
+		return nil
+	}
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if cond() {
+				return nil
+			}
+			return ctx.Err()
+		case <-ticker.C:
+			if cond() {
+				return nil
+			}
+		}
+	}
 }

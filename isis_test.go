@@ -19,10 +19,10 @@ func ctxT(t *testing.T) context.Context {
 }
 
 func TestFacadeFlatGroupRoundTrip(t *testing.T) {
-	sys := isis.NewSystem(isis.Config{})
-	defer sys.Shutdown()
-	a := sys.MustSpawn()
-	b := sys.MustSpawn()
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	a := rt.MustSpawn()
+	b := rt.MustSpawn()
 
 	var got atomic.Int32
 	cfg := isis.GroupConfig{OnDeliver: func(d isis.Delivery) { got.Add(1) }}
@@ -36,17 +36,117 @@ func TestFacadeFlatGroupRoundTrip(t *testing.T) {
 	if err := ga.Cast(ctxT(t), isis.ABCAST, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if !isis.WaitFor(5*time.Second, func() bool { return got.Load() == 2 }) {
-		t.Fatalf("delivered %d of 2", got.Load())
+	if err := isis.Await(ctxT(t), func() bool { return got.Load() == 2 }); err != nil {
+		t.Fatalf("delivered %d of 2: %v", got.Load(), err)
 	}
-	if sys.Stats().MessagesSent == 0 {
+	if rt.Stats().MessagesSent == 0 {
 		t.Error("fabric stats empty")
 	}
 }
 
+func TestFacadeViewAndDeliveryChannels(t *testing.T) {
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	ctx := ctxT(t)
+
+	a := rt.MustSpawn()
+	ga, err := a.CreateGroup("events", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := ga.Views(ctx)
+	// The subscriber sees the currently installed view first.
+	select {
+	case v := <-views:
+		if v.Size() != 1 {
+			t.Fatalf("initial view size = %d, want 1", v.Size())
+		}
+	case <-ctx.Done():
+		t.Fatal("no initial view event")
+	}
+
+	b := rt.MustSpawn()
+	gb, err := b.JoinGroup(ctx, "events", a.ID(), isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join shows up as a membership event, no polling involved.
+	for {
+		select {
+		case v := <-views:
+			if v.Size() == 2 {
+				goto joined
+			}
+		case <-ctx.Done():
+			t.Fatal("no two-member view event")
+		}
+	}
+joined:
+
+	deliveries := gb.Deliveries(ctx)
+	if err := ga.Cast(ctx, isis.FBCAST, []byte("evt")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-deliveries:
+		if string(d.Payload) != "evt" {
+			t.Fatalf("delivery payload = %q", d.Payload)
+		}
+		if d.From != a.ID() {
+			t.Fatalf("delivery from %v, want %v", d.From, a.ID())
+		}
+	case <-ctx.Done():
+		t.Fatal("no delivery event")
+	}
+
+	// Leaving the group closes subscription channels.
+	if err := gb.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-deliveries:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("delivery channel not closed after Leave")
+		}
+	}
+}
+
+func TestFacadeCrashThenShutdownIsIdempotent(t *testing.T) {
+	rt := isis.NewSimulated()
+	a := rt.MustSpawn()
+	b := rt.MustSpawn()
+
+	cfg := isis.GroupConfig{}
+	if _, err := a.CreateGroup("g", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.JoinGroup(ctxT(t), "g", a.ID(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash stops b but leaves it registered with the runtime; Shutdown then
+	// stops every process including b a second time. Both must be safe, and
+	// explicit double-Stop too.
+	rt.Crash(b)
+	if !b.Stopped() {
+		t.Error("crashed process not stopped")
+	}
+	b.Stop()
+	rt.Shutdown()
+	rt.Shutdown()
+	if !a.Stopped() {
+		t.Error("process still running after Shutdown")
+	}
+}
+
 func TestFacadeServiceRequestBroadcastAndFailure(t *testing.T) {
-	sys := isis.NewSystem(isis.Config{})
-	defer sys.Shutdown()
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
 
 	const members = 9
 	var broadcasts atomic.Int32
@@ -56,24 +156,24 @@ func TestFacadeServiceRequestBroadcastAndFailure(t *testing.T) {
 		RequestHandler: func(p []byte) []byte { return append([]byte("ok:"), p...) },
 		OnBroadcast:    func([]byte) { broadcasts.Add(1) },
 	}
-	founder := sys.MustSpawn()
+	founder := rt.MustSpawn()
 	svc, err := founder.CreateService("quotes", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	procs := []*isis.Process{founder}
 	for i := 1; i < members; i++ {
-		p := sys.MustSpawn()
+		p := rt.MustSpawn()
 		if _, err := p.JoinService(ctxT(t), "quotes", founder.ID(), cfg); err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
 		procs = append(procs, p)
 	}
-	if !isis.WaitFor(10*time.Second, func() bool { return svc.Tree().TotalMembers() == members }) {
-		t.Fatalf("tree = %d members", svc.Tree().TotalMembers())
+	if err := isis.Await(ctxT(t), func() bool { return svc.Tree().TotalMembers() == members }); err != nil {
+		t.Fatalf("tree = %d members: %v", svc.Tree().TotalMembers(), err)
 	}
 
-	client := sys.MustSpawn().NewServiceClient("quotes", founder.ID())
+	client := rt.MustSpawn().NewServiceClient("quotes", founder.ID())
 	reply, err := client.Request(ctxT(t), []byte("IBM"))
 	if err != nil {
 		t.Fatal(err)
@@ -89,27 +189,94 @@ func TestFacadeServiceRequestBroadcastAndFailure(t *testing.T) {
 	if covered != members {
 		t.Errorf("broadcast covered %d of %d", covered, members)
 	}
-	if !isis.WaitFor(5*time.Second, func() bool { return int(broadcasts.Load()) == members }) {
-		t.Errorf("broadcast delivered at %d of %d members", broadcasts.Load(), members)
+	if err := isis.Await(ctxT(t), func() bool { return int(broadcasts.Load()) == members }); err != nil {
+		t.Errorf("broadcast delivered at %d of %d members: %v", broadcasts.Load(), members, err)
 	}
 
 	victim := procs[len(procs)-1]
-	sys.Crash(victim)
-	sys.InjectFailure(victim)
-	if !isis.WaitFor(10*time.Second, func() bool { return svc.Tree().TotalMembers() == members-1 }) {
-		t.Fatalf("tree still has %d members after failure", svc.Tree().TotalMembers())
+	rt.Crash(victim)
+	rt.InjectFailure(victim)
+	if err := isis.Await(ctxT(t), func() bool { return svc.Tree().TotalMembers() == members-1 }); err != nil {
+		t.Fatalf("tree still has %d members after failure: %v", svc.Tree().TotalMembers(), err)
 	}
 	if _, err := client.Request(ctxT(t), []byte("DEC")); err != nil {
 		t.Errorf("request after failure: %v", err)
 	}
 }
 
+func TestFacadeRuntimeDefaults(t *testing.T) {
+	rt := isis.NewSimulated(isis.WithFanout(3), isis.WithResiliency(2))
+	defer rt.Shutdown()
+
+	founder := rt.MustSpawn()
+	svc, err := founder.CreateService("svc", isis.ServiceConfig{
+		RequestHandler: func(p []byte) []byte { return p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With fanout 3, a fourth member cannot fit in one leaf: runtime-level
+	// defaults must have reached the service config.
+	for i := 0; i < 4; i++ {
+		p := rt.MustSpawn()
+		if _, err := p.JoinService(ctxT(t), "svc", founder.ID(), isis.ServiceConfig{
+			RequestHandler: func(p []byte) []byte { return p },
+		}); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := isis.Await(ctxT(t), func() bool {
+		return svc.Tree().TotalMembers() == 5 && svc.Tree().LeafCount() >= 2
+	}); err != nil {
+		t.Fatalf("tree = %d members in %d leaves: %v",
+			svc.Tree().TotalMembers(), svc.Tree().LeafCount(), err)
+	}
+}
+
+func TestFacadeTCPOnlyOperationsRejectedOnSimulated(t *testing.T) {
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	if _, err := rt.SpawnAt(1, "127.0.0.1:0"); err == nil {
+		t.Error("SpawnAt succeeded on a simulated runtime")
+	}
+	if err := rt.AddPeer(1, "127.0.0.1:1"); err == nil {
+		t.Error("AddPeer succeeded on a simulated runtime")
+	}
+}
+
+func TestFacadeTCPSiteAssignmentAvoidsCollisions(t *testing.T) {
+	rt := isis.NewTCP()
+	defer rt.Shutdown()
+
+	p1, err := rt.SpawnAt(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddPeer(3, "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	a := rt.MustSpawn()
+	b := rt.MustSpawn()
+	if a.ID() == p1.ID() || b.ID() == p1.ID() {
+		t.Errorf("Spawn reused an explicitly claimed site: %v / %v vs %v", a.ID(), b.ID(), p1.ID())
+	}
+	if a.ID().Site == 3 || b.ID().Site == 3 {
+		t.Errorf("Spawn hijacked a registered peer site: %v, %v", a.ID(), b.ID())
+	}
+	if _, err := rt.SpawnAt(1, "127.0.0.1:0"); err == nil {
+		t.Error("SpawnAt accepted a duplicate site id")
+	}
+	if err := rt.AddPeer(1, "127.0.0.1:1"); err == nil {
+		t.Error("AddPeer accepted a site id owned by a local process")
+	}
+}
+
 func TestFacadeNameService(t *testing.T) {
-	sys := isis.NewSystem(isis.Config{})
-	defer sys.Shutdown()
-	dirProc := sys.MustSpawn()
-	svcProc := sys.MustSpawn()
-	clientProc := sys.MustSpawn()
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	dirProc := rt.MustSpawn()
+	svcProc := rt.MustSpawn()
+	clientProc := rt.MustSpawn()
 
 	dir := dirProc.NewDirectory(nil)
 	_ = dir

@@ -1,0 +1,124 @@
+// Transport conformance: the identical create/join/request/broadcast
+// scenario, written once against the public facade and executed over both
+// deployment substrates — the in-memory simulated fabric and real TCP
+// loopback sockets. This is the paper's transport-independence claim as an
+// executable test: nothing below the Runtime constructor differs.
+package isis_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	isis "repro"
+)
+
+func TestTransportConformance(t *testing.T) {
+	backends := []struct {
+		name string
+		make func() *isis.Runtime
+	}{
+		{"memory", func() *isis.Runtime { return isis.NewSimulated() }},
+		{"tcp", func() *isis.Runtime { return isis.NewTCP() }},
+	}
+	for _, backend := range backends {
+		t.Run(backend.name, func(t *testing.T) {
+			runConformanceScenario(t, backend.make())
+		})
+	}
+}
+
+// runConformanceScenario is deliberately transport-blind: it only speaks the
+// public facade. Any behavioural difference between substrates fails here.
+func runConformanceScenario(t *testing.T, rt *isis.Runtime) {
+	t.Helper()
+	defer rt.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const members = 5
+
+	// Flat group: create, join, ordered multicast.
+	var flatDelivered atomic.Int32
+	gcfg := isis.GroupConfig{OnDeliver: func(isis.Delivery) { flatDelivered.Add(1) }}
+	first := rt.MustSpawn()
+	procs := []*isis.Process{first}
+	groups := make([]*isis.Group, 0, members)
+	g0, err := first.CreateGroup("conf", gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups = append(groups, g0)
+	for i := 1; i < members; i++ {
+		p := rt.MustSpawn()
+		g, err := p.JoinGroup(ctx, "conf", first.ID(), gcfg)
+		if err != nil {
+			t.Fatalf("flat join %d: %v", i, err)
+		}
+		procs = append(procs, p)
+		groups = append(groups, g)
+	}
+	if err := isis.Await(ctx, func() bool {
+		for _, g := range groups {
+			if g.Size() != members {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("flat views did not converge: %v", err)
+	}
+	for i, g := range groups {
+		if err := g.Cast(ctx, isis.ABCAST, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("cast %d: %v", i, err)
+		}
+	}
+	if err := isis.Await(ctx, func() bool {
+		return int(flatDelivered.Load()) == members*members
+	}); err != nil {
+		t.Fatalf("flat deliveries = %d of %d: %v", flatDelivered.Load(), members*members, err)
+	}
+
+	// Hierarchical service: create, join, routed request, tree broadcast.
+	var broadcasts atomic.Int32
+	scfg := isis.ServiceConfig{
+		Fanout:         3,
+		Resiliency:     2,
+		RequestHandler: func(p []byte) []byte { return append([]byte("ok:"), p...) },
+		OnBroadcast:    func([]byte) { broadcasts.Add(1) },
+	}
+	svc, err := first.CreateService("conf-svc", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < members; i++ {
+		if _, err := procs[i].JoinService(ctx, "conf-svc", first.ID(), scfg); err != nil {
+			t.Fatalf("service join %d: %v", i, err)
+		}
+	}
+	if err := isis.Await(ctx, func() bool { return svc.Tree().TotalMembers() == members }); err != nil {
+		t.Fatalf("service tree = %d members: %v", svc.Tree().TotalMembers(), err)
+	}
+
+	client := rt.MustSpawn().NewServiceClient("conf-svc", first.ID())
+	reply, err := client.Request(ctx, []byte("req"))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if string(reply) != "ok:req" {
+		t.Fatalf("reply = %q, want %q", reply, "ok:req")
+	}
+
+	covered, err := svc.Broadcast(ctx, []byte("all"))
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if covered != members {
+		t.Errorf("broadcast covered %d of %d members", covered, members)
+	}
+	if err := isis.Await(ctx, func() bool { return int(broadcasts.Load()) == members }); err != nil {
+		t.Errorf("broadcast delivered at %d of %d members: %v", broadcasts.Load(), members, err)
+	}
+}

@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment table (E1–E8) and ablation
+// Benchmarks regenerating every experiment table (E1–E9) and ablation
 // (A1–A3) from EXPERIMENTS.md, one benchmark per experiment. Each benchmark
 // runs the Quick-scale sweep once per iteration and reports the headline
 // number as a custom metric; `cmd/isis-bench -scale full` prints the
@@ -86,6 +86,15 @@ func BenchmarkE7TradingRoom(b *testing.B) {
 func BenchmarkE8SplitMerge(b *testing.B) {
 	t := runTable(b, experiments.E8SplitMerge)
 	b.ReportMetric(float64(t.Rows()), "phases")
+}
+
+// BenchmarkE9BatchingThroughput regenerates E9: broadcast hot-path
+// throughput with the batching pipeline on vs off. The recorded table
+// (BENCH_batching.json) is the perf trajectory the ROADMAP asks for; the
+// acceptance bar is a ≥2x delivered-msgs/sec speedup at quick scale.
+func BenchmarkE9BatchingThroughput(b *testing.B) {
+	t := runTable(b, experiments.E9BatchingThroughput)
+	b.ReportMetric(float64(t.Rows()), "rows")
 }
 
 // BenchmarkAblationFanout regenerates A1: the fanout sweep.

@@ -1,5 +1,5 @@
 // Command isis-bench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E8 plus
+// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E9 plus
 // the ablations A1–A3.
 //
 // Usage:
@@ -7,12 +7,19 @@
 //	isis-bench                         # run every experiment at quick scale
 //	isis-bench -scale full             # paper-scale sweeps (slower)
 //	isis-bench -experiment E1,E5       # run a subset
+//	isis-bench -experiment E9 -json .  # also write BENCH_batching.json
+//
+// With -json DIR each selected experiment additionally writes its tables as
+// a JSON array to DIR/BENCH_<name>.json (E9 is named "batching"); CI runs
+// the E2/E9 smoke subset and uploads these files as build artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,7 +29,8 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E8, A1..A3) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E9, A1..A3) or 'all'")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json files into (empty: text only)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -32,7 +40,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if strings.EqualFold(*expFlag, "all") {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3"} {
 			selected[id] = true
 		}
 	} else {
@@ -42,8 +50,9 @@ func main() {
 	}
 
 	type runner struct {
-		id  string
-		run func() ([]*metrics.Table, error)
+		id   string
+		file string // JSON artifact name: BENCH_<file>.json
+		run  func() ([]*metrics.Table, error)
 	}
 	wrap1 := func(f func(experiments.Scale) (*metrics.Table, error)) func() ([]*metrics.Table, error) {
 		return func() ([]*metrics.Table, error) {
@@ -52,22 +61,23 @@ func main() {
 		}
 	}
 	runners := []runner{
-		{"E1", wrap1(experiments.E1RequestCost)},
-		{"E2", wrap1(experiments.E2TrafficScaling)},
-		{"E3", wrap1(experiments.E3MembershipChange)},
-		{"E4", func() ([]*metrics.Table, error) {
+		{"E1", "E1", wrap1(experiments.E1RequestCost)},
+		{"E2", "E2", wrap1(experiments.E2TrafficScaling)},
+		{"E3", "E3", wrap1(experiments.E3MembershipChange)},
+		{"E4", "E4", func() ([]*metrics.Table, error) {
 			t1, t2 := experiments.E4Reliability(scale)
 			return []*metrics.Table{t1, t2}, nil
 		}},
-		{"E5", wrap1(experiments.E5TreeBroadcast)},
-		{"E6", func() ([]*metrics.Table, error) {
+		{"E5", "E5", wrap1(experiments.E5TreeBroadcast)},
+		{"E6", "E6", func() ([]*metrics.Table, error) {
 			return []*metrics.Table{experiments.E6ViewStorage(scale)}, nil
 		}},
-		{"E7", wrap1(experiments.E7TradingRoom)},
-		{"E8", wrap1(experiments.E8SplitMerge)},
-		{"A1", wrap1(experiments.A1Fanout)},
-		{"A2", wrap1(experiments.A2Resiliency)},
-		{"A3", wrap1(experiments.A3Ordering)},
+		{"E7", "E7", wrap1(experiments.E7TradingRoom)},
+		{"E8", "E8", wrap1(experiments.E8SplitMerge)},
+		{"E9", "batching", wrap1(experiments.E9BatchingThroughput)},
+		{"A1", "A1", wrap1(experiments.A1Fanout)},
+		{"A2", "A2", wrap1(experiments.A2Resiliency)},
+		{"A3", "A3", wrap1(experiments.A3Ordering)},
 	}
 
 	failed := false
@@ -87,8 +97,26 @@ func main() {
 			t.Render(os.Stdout)
 			fmt.Println()
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, r.file, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: write json: %v\n", r.id, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func writeJSON(dir, name string, tables []*metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -34,9 +34,11 @@ type Proc struct {
 
 // Spawn attaches a process to the network and starts its actor loop. The
 // detector's suspicions feed the group stack, and the stack's views feed the
-// detector's monitored set — identical wiring over any transport.
-func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config) (*Proc, error) {
-	n, err := node.New(pid, network)
+// detector's monitored set — identical wiring over any transport. The
+// batching knobs configure the node's outbox coalescing (the zero value
+// selects the defaults; node.Batching{Disable: true} turns it off).
+func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, batching node.Batching) (*Proc, error) {
+	n, err := node.NewWithBatching(pid, network, batching)
 	if err != nil {
 		return nil, fmt.Errorf("boot %v: %w", pid, err)
 	}

@@ -30,6 +30,10 @@ type Options struct {
 	// Detector configures the failure detectors. The zero value disables
 	// heartbeat traffic; failures are then injected explicitly.
 	Detector fdetect.Config
+	// Batching configures every node's outbox coalescing. The zero value
+	// selects the defaults; node.Batching{Disable: true} restores
+	// one-frame-per-message sending (the E9 baseline).
+	Batching node.Batching
 }
 
 // Proc is one simulated workstation process.
@@ -82,7 +86,7 @@ func MustNew(n int, opts Options) *Cluster {
 func (c *Cluster) AddProcess() (*Proc, error) {
 	c.nextSite++
 	pid := types.ProcessID{Site: types.SiteID(c.nextSite), Incarnation: 1}
-	bp, err := boot.Spawn(pid, c.Net, c.opts.Detector)
+	bp, err := boot.Spawn(pid, c.Net, c.opts.Detector, c.opts.Batching)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: add process %v: %w", pid, err)
 	}

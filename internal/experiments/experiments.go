@@ -1,12 +1,13 @@
 // Package experiments implements the benchmark harness that regenerates
-// every experiment in EXPERIMENTS.md (E1–E8 plus the ablations A1–A3). The
+// every experiment in EXPERIMENTS.md (E1–E9 plus the ablations A1–A3). The
 // same code backs cmd/isis-bench and the testing.B benchmarks in
 // bench_test.go, so the printed tables and the benchmark metrics always come
 // from one implementation.
 //
 // Because the source paper is a position paper with no measured figures,
-// each experiment reifies one of its quantitative claims; see DESIGN.md §5
-// for the claim-to-experiment mapping.
+// each experiment reifies one of its quantitative claims (E9, the batching
+// throughput experiment, instead reifies the ROADMAP's measurably-faster
+// hot-path goal); see DESIGN.md §7 for the claim-to-experiment mapping.
 package experiments
 
 import (

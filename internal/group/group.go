@@ -532,18 +532,18 @@ func (g *Group) Cast(ctx context.Context, o types.Ordering, payload []byte) erro
 // reported only for local conditions (not a member, closed).
 func (g *Group) CastAsync(o types.Ordering, payload []byte) {
 	g.stack.node.Do(func() {
-		done := make(chan error, 1)
-		g.castOnActor(o, payload, done)
+		// nil done: fire-and-forget, no completion channel to allocate.
+		g.castOnActor(o, payload, nil)
 	})
 }
 
+// castOnActor runs the sender side of one multicast. done may be nil
+// (CastAsync), in which case completion and errors are not reported.
 func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
-	if g.closed {
-		done <- fmt.Errorf("cast to %s: %w", g.id, types.ErrNotMember)
-		return
-	}
-	if !g.joined {
-		done <- fmt.Errorf("cast to %s: %w", g.id, types.ErrNotMember)
+	if g.closed || !g.joined {
+		if done != nil {
+			done <- fmt.Errorf("cast to %s: %w", g.id, types.ErrNotMember)
+		}
 		return
 	}
 	if g.wedged {
@@ -582,7 +582,7 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 	if max := g.view.Size() - 1; need > max {
 		need = max
 	}
-	if need > 0 {
+	if need > 0 && done != nil {
 		g.acks[corr] = &ackWaiter{need: need, done: done}
 	}
 
@@ -590,7 +590,7 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 	// Self-delivery through the same path as remote copies.
 	g.onCast(msg.Clone())
 
-	if need <= 0 {
+	if need <= 0 && done != nil {
 		done <- nil
 	}
 }
@@ -649,6 +649,110 @@ func (g *Group) onCast(m *types.Message) {
 	}
 	for _, d := range deliverable {
 		g.deliver(d)
+	}
+	g.recheckPendingInstall()
+}
+
+// onCastBatch is the batch-frame form of onCast: per-message bookkeeping
+// (receive watermark, acknowledgement, sequencing) runs in one loop, then
+// each ordering engine accepts its sub-batch and releases deliveries in one
+// pass, and the pending-install cut is rechecked once for the whole frame.
+// The acknowledgements and order announcements it sends coalesce in the
+// node's outbox, so a frame of casts is answered by (at most) a frame of
+// acks rather than one transmission each.
+func (g *Group) onCastBatch(ms []*types.Message) {
+	if len(ms) == 1 {
+		g.onCast(ms[0])
+		return
+	}
+	if g.closed {
+		return
+	}
+	self := g.stack.node.PID()
+
+	// byOrdering[o] collects the current-view casts for engine o; anything
+	// outside the known orderings is delivered directly, like onCast does.
+	var byOrdering [4][]*types.Message
+	var direct []*types.Message
+	// One backing allocation for the whole frame's acknowledgements; the
+	// append never exceeds the fixed capacity, so the pointers handed to
+	// Send stay stable.
+	ackBlock := make([]types.Message, 0, len(ms))
+	// The receive watermark is written back once per sender run rather than
+	// once per message (frames are virtually always single-sender).
+	var wmSender types.ProcessID
+	var wmSeq uint64
+	flushWatermark := func() {
+		if wmSeq > 0 && wmSeq > g.recvSeq[wmSender] {
+			g.recvSeq[wmSender] = wmSeq
+		}
+	}
+	for _, m := range ms {
+		if !g.joined || m.View != g.view.ID {
+			if m.View > g.view.ID || !g.joined {
+				// A cast from a view we have not installed yet: keep it for
+				// replay right after the install.
+				g.futureCasts = append(g.futureCasts, m)
+			}
+			continue
+		}
+		if m.ID.Sender != wmSender {
+			flushWatermark()
+			wmSender, wmSeq = m.ID.Sender, 0
+		}
+		if m.ID.Seq > wmSeq {
+			wmSeq = m.ID.Seq
+		}
+		// Acknowledge receipt for the sender's resiliency accounting.
+		if m.From != self && m.Corr != 0 {
+			ackBlock = append(ackBlock, types.Message{
+				Kind:  types.KindCastAck,
+				Group: g.id,
+				View:  m.View,
+				Corr:  m.Corr,
+			})
+			_ = g.stack.node.Send(m.From, &ackBlock[len(ackBlock)-1])
+		}
+		// The sequencer assigns the total order for casts that need one.
+		if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil {
+			seq := g.seqr.Assign()
+			orderMsg := &types.Message{
+				Kind:  types.KindOrder,
+				Group: g.id,
+				View:  g.view.ID,
+				ID:    m.ID,
+				Seq:   seq,
+			}
+			g.stack.node.SendCopies(g.view.Members, orderMsg)
+			for _, d := range g.total.AddOrder(seq, m.ID) {
+				g.deliver(d)
+			}
+		}
+		switch m.Ordering {
+		case types.FIFO, types.Causal, types.Total:
+			byOrdering[m.Ordering] = append(byOrdering[m.Ordering], m)
+		default: // Unordered
+			direct = append(direct, m)
+		}
+	}
+	flushWatermark()
+	for _, d := range direct {
+		g.deliver(d)
+	}
+	if batch := byOrdering[types.FIFO]; len(batch) > 0 {
+		for _, d := range g.fifo.AddBatch(batch) {
+			g.deliver(d)
+		}
+	}
+	if batch := byOrdering[types.Causal]; len(batch) > 0 {
+		for _, d := range g.causal.AddBatch(batch) {
+			g.deliver(d)
+		}
+	}
+	if batch := byOrdering[types.Total]; len(batch) > 0 {
+		for _, d := range g.total.AddBatch(batch) {
+			g.deliver(d)
+		}
 	}
 	g.recheckPendingInstall()
 }

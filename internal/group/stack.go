@@ -35,6 +35,7 @@ func NewStack(n *node.Node, det *fdetect.Detector) *Stack {
 	n.Handle(types.KindViewInstall, s.onViewInstall)
 	n.Handle(types.KindStateTransfer, s.route((*Group).onStateTransfer))
 	n.Handle(types.KindCast, s.route((*Group).onCast))
+	n.HandleBatch(types.KindCast, s.routeCastBatch)
 	n.Handle(types.KindCastAck, s.route((*Group).onCastAck))
 	n.Handle(types.KindOrder, s.route((*Group).onOrder))
 	return s
@@ -58,6 +59,26 @@ func (s *Stack) route(fn func(*Group, *types.Message)) node.Handler {
 			s.det.Alive(m.From)
 		}
 		fn(g, m)
+	}
+}
+
+// routeCastBatch dispatches a frame-sized run of casts, splitting it into
+// consecutive same-group sub-runs so each group's ordering engines can
+// accept the whole sub-run in one pass.
+func (s *Stack) routeCastBatch(ms []*types.Message) {
+	for i := 0; i < len(ms); {
+		key := ms[i].Group.Key()
+		j := i + 1
+		for j < len(ms) && ms[j].Group.Key() == key {
+			j++
+		}
+		if g, ok := s.groups[key]; ok {
+			if s.det != nil {
+				s.det.Alive(ms[i].From)
+			}
+			g.onCastBatch(ms[i:j])
+		}
+		i = j
 	}
 }
 

@@ -1,9 +1,11 @@
-// Package metrics provides the counters, latency summaries and plain-text
-// table/series printers the benchmark harness uses to regenerate the
-// experiment tables in EXPERIMENTS.md.
+// Package metrics provides the counters, latency summaries and table
+// renderers the benchmark harness uses to regenerate the experiment tables
+// in EXPERIMENTS.md — as aligned plain text for the document and as JSON
+// for the BENCH_*.json artifacts CI uploads.
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -155,4 +157,19 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	t.Render(&sb)
 	return sb.String()
+}
+
+// MarshalJSON renders the table as {"title", "columns", "rows"}. Cells are
+// the already-formatted strings the text renderer prints, so the two
+// outputs always agree.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
 }

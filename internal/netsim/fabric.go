@@ -9,6 +9,13 @@
 // quantities the paper reasons about — number of messages, number of
 // destinations, and who has to do work — rather than artifacts of either
 // implementation.
+//
+// The unit of transmission is a frame: one or more messages from one sender
+// to one destination, delivered as a single unit (SendBatch). Frames model
+// the batched wire encoding of the real TCP transport, so the simulated and
+// real substrates amortize per-send overhead the same way. Message-level
+// accounting (MessagesSent, PerKind, ...) is unaffected by how messages are
+// framed; FramesSent records the amortization separately.
 package netsim
 
 import (
@@ -34,9 +41,10 @@ type Config struct {
 	// Seed seeds the fabric's private random source so experiments are
 	// reproducible. Zero selects a fixed default seed.
 	Seed int64
-	// QueueLen is the per-process inbound queue length. Zero selects a
-	// large default. When a queue overflows the message is counted as
-	// dropped (models an overloaded workstation).
+	// QueueLen is the per-process inbound queue length, counted in frames
+	// (a frame is one batched send; an unbatched send is a frame of one).
+	// Zero selects a large default. When a queue overflows the frame's
+	// messages are counted as dropped (models an overloaded workstation).
 	QueueLen int
 	// PerHopCost is the synthetic processing cost charged per delivered
 	// message when computing the simulated latency figures reported by the
@@ -68,6 +76,10 @@ type Stats struct {
 	// MessagesDropped counts losses (random loss, partitions, crashed or
 	// unknown destinations, queue overflow).
 	MessagesDropped uint64
+	// FramesSent counts transmission units: one per Send, one per
+	// SendBatch regardless of batch size. MessagesSent/FramesSent is the
+	// batching amortization factor the E9 experiment reports.
+	FramesSent uint64
 	// BytesSent is the total wire size of all send attempts.
 	BytesSent uint64
 	// PerKind breaks MessagesSent down by protocol message kind.
@@ -98,9 +110,10 @@ type Fabric struct {
 // tests (for example "drop all view-install messages to p3").
 type DropRule func(Packet) bool
 
-// port is the receive side of one attached process.
+// port is the receive side of one attached process. The queue carries
+// frames: the batched unit of transmission (a plain Send is a frame of one).
 type port struct {
-	queue chan *types.Message
+	queue chan []*types.Message
 }
 
 // New creates a fabric with the given configuration.
@@ -130,15 +143,15 @@ func New(cfg Config) *Fabric {
 // Config returns the fabric's configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// Attach registers a process and returns its inbound message channel. It is
+// Attach registers a process and returns its inbound frame channel. It is
 // an error to attach the same process twice.
-func (f *Fabric) Attach(p types.ProcessID) (<-chan *types.Message, error) {
+func (f *Fabric) Attach(p types.ProcessID) (<-chan []*types.Message, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, ok := f.procs[p]; ok {
 		return nil, fmt.Errorf("netsim: attach %v: %w", p, types.ErrRejected)
 	}
-	pt := &port{queue: make(chan *types.Message, f.cfg.QueueLen)}
+	pt := &port{queue: make(chan []*types.Message, f.cfg.QueueLen)}
 	f.procs[p] = pt
 	delete(f.crashed, p)
 	return pt.queue, nil
@@ -210,80 +223,144 @@ func (f *Fabric) Watch(w func(Packet)) {
 	f.watcher = w
 }
 
-// Send carries one message from msg.From to msg.To. It never blocks the
-// caller beyond the (optional) latency model: delivery into the destination
-// queue happens either inline (zero latency) or on a timer goroutine.
+// Send carries one message from msg.From to msg.To as a frame of one. It
+// never blocks the caller beyond the (optional) latency model: delivery into
+// the destination queue happens either inline (zero latency) or on a timer
+// goroutine.
 func (f *Fabric) Send(msg *types.Message) error {
-	pkt := Packet{From: msg.From, To: msg.To, Msg: msg, Size: msg.WireSize()}
+	return f.SendBatch([]*types.Message{msg})
+}
+
+// SendBatch carries a frame — one or more messages sharing a sender and a
+// destination (msgs[0] routes the whole frame) — under a single accounting
+// pass and a single queue operation at the receiver. Message-level counters
+// are charged per message exactly as for individual Sends, but the
+// per-sender, per-kind and fanout map updates are hoisted to one update per
+// frame, which is where the simulated substrate's batching speedup comes
+// from. Random loss and drop rules filter individual messages out of the
+// frame; crashed/unknown/partitioned destinations drop the frame whole and
+// return the error an individual Send would have returned.
+func (f *Fabric) SendBatch(msgs []*types.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	to, from := msgs[0].To, msgs[0].From
 
 	f.mu.Lock()
-	f.stats.MessagesSent++
-	f.stats.BytesSent += uint64(pkt.Size)
-	f.stats.PerKind[msg.Kind]++
-	f.stats.PerSender[msg.From]++
-	set, ok := f.fanout[msg.From]
+	// Packets are only materialised when someone looks at them.
+	needPkts := f.watcher != nil || len(f.dropRules) > 0
+	var pkts []Packet
+	if needPkts {
+		pkts = make([]Packet, len(msgs))
+		for i, m := range msgs {
+			pkts[i] = Packet{From: m.From, To: m.To, Msg: m, Size: m.WireSize()}
+		}
+	}
+
+	f.stats.FramesSent++
+	f.stats.MessagesSent += uint64(len(msgs))
+	f.stats.PerSender[from] += uint64(len(msgs))
+	set, ok := f.fanout[from]
 	if !ok {
 		set = make(map[types.ProcessID]struct{})
-		f.fanout[msg.From] = set
+		f.fanout[from] = set
 	}
-	set[msg.To] = struct{}{}
+	set[to] = struct{}{}
+	var kindRun types.Kind
+	var kindN uint64
+	for i, m := range msgs {
+		if pkts != nil {
+			f.stats.BytesSent += uint64(pkts[i].Size) // WireSize already computed
+		} else {
+			f.stats.BytesSent += uint64(m.WireSize())
+		}
+		if m.Kind == kindRun {
+			kindN++
+			continue
+		}
+		if kindN > 0 {
+			f.stats.PerKind[kindRun] += kindN
+		}
+		kindRun, kindN = m.Kind, 1
+	}
+	f.stats.PerKind[kindRun] += kindN
 	watcher := f.watcher
 
-	// Destination checks.
-	dst, ok := f.procs[msg.To]
-	crashed := f.crashed[msg.To]
-	partitioned := f.partitions[msg.From] != f.partitions[msg.To]
-	dropped := false
+	// Destination checks apply to the frame as a whole.
+	dst, ok := f.procs[to]
+	crashed := f.crashed[to]
+	partitioned := f.partitions[from] != f.partitions[to]
 	var dropErr error
 	switch {
 	case crashed:
-		dropped, dropErr = true, types.ErrCrashed
+		dropErr = types.ErrCrashed
 	case !ok:
-		dropped, dropErr = true, types.ErrNoSuchProcess
+		dropErr = types.ErrNoSuchProcess
 	case partitioned:
-		dropped, dropErr = true, types.ErrPartitioned
-	case f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate:
-		dropped = true // silent loss: sender gets no error, like UDP on Ethernet
+		dropErr = types.ErrPartitioned
 	}
-	if !dropped {
-		for _, rule := range f.dropRules {
-			if rule != nil && rule(pkt) {
-				dropped = true
-				break
+	// Loss and drop rules apply per message: a lossy link can lose part of
+	// a frame, like packets of one burst on Ethernet.
+	var kept []*types.Message
+	if dropErr == nil {
+		kept = msgs
+		if f.cfg.LossRate > 0 || len(f.dropRules) > 0 {
+			kept = make([]*types.Message, 0, len(msgs))
+			for i, m := range msgs {
+				lost := f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate
+				if !lost && pkts != nil {
+					for _, rule := range f.dropRules {
+						if rule != nil && rule(pkts[i]) {
+							lost = true
+							break
+						}
+					}
+				}
+				if lost {
+					f.stats.MessagesDropped++
+				} else {
+					kept = append(kept, m)
+				}
 			}
 		}
+	} else {
+		f.stats.MessagesDropped += uint64(len(msgs))
 	}
 	var delay time.Duration
-	if !dropped {
+	if len(kept) > 0 {
 		delay = f.cfg.BaseLatency
 		if f.cfg.Jitter > 0 {
 			delay += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
 		}
 	}
-	if dropped {
-		f.stats.MessagesDropped++
-	}
 	f.mu.Unlock()
 
 	if watcher != nil {
-		watcher(pkt)
+		for i := range pkts {
+			watcher(pkts[i])
+		}
 	}
-	if dropped {
+	if dropErr != nil {
 		return dropErr
 	}
+	if len(kept) == 0 {
+		return nil // silent loss: sender gets no error, like UDP on Ethernet
+	}
 
+	// Clone at send time so the receiver can never observe sender-side
+	// mutation, and so the caller's batch slice is free for reuse the moment
+	// SendBatch returns.
+	frame := types.CloneFrame(kept)
 	deliver := func() {
-		// Clone so the receiver can never observe sender-side mutation.
-		m := msg.Clone()
 		select {
-		case dst.queue <- m:
+		case dst.queue <- frame:
 			f.mu.Lock()
-			f.stats.MessagesDelivered++
-			f.stats.PerReceiver[msg.To]++
+			f.stats.MessagesDelivered += uint64(len(frame))
+			f.stats.PerReceiver[to] += uint64(len(frame))
 			f.mu.Unlock()
 		default:
 			f.mu.Lock()
-			f.stats.MessagesDropped++
+			f.stats.MessagesDropped += uint64(len(frame))
 			f.mu.Unlock()
 		}
 	}
@@ -303,6 +380,7 @@ func (f *Fabric) Stats() Stats {
 		MessagesSent:      f.stats.MessagesSent,
 		MessagesDelivered: f.stats.MessagesDelivered,
 		MessagesDropped:   f.stats.MessagesDropped,
+		FramesSent:        f.stats.FramesSent,
 		BytesSent:         f.stats.BytesSent,
 		PerKind:           make(map[types.Kind]uint64, len(f.stats.PerKind)),
 		PerSender:         make(map[types.ProcessID]uint64, len(f.stats.PerSender)),

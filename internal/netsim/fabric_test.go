@@ -14,13 +14,27 @@ func msg(from, to types.ProcessID, kind types.Kind) *types.Message {
 	return &types.Message{Kind: kind, From: from, To: to, Payload: []byte("payload")}
 }
 
-func recvOne(t *testing.T, ch <-chan *types.Message) *types.Message {
+func recvOne(t *testing.T, ch <-chan []*types.Message) *types.Message {
 	t.Helper()
 	select {
-	case m := <-ch:
-		return m
+	case frame := <-ch:
+		if len(frame) != 1 {
+			t.Fatalf("expected a frame of one message, got %d", len(frame))
+		}
+		return frame[0]
 	case <-time.After(2 * time.Second):
 		t.Fatal("timed out waiting for a message")
+		return nil
+	}
+}
+
+func recvFrame(t *testing.T, ch <-chan []*types.Message) []*types.Message {
+	t.Helper()
+	select {
+	case frame := <-ch:
+		return frame
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a frame")
 		return nil
 	}
 }
@@ -117,8 +131,8 @@ func TestLossRateDropsSilently(t *testing.T) {
 		t.Errorf("lossy send returned error %v (should be silent like UDP)", err)
 	}
 	select {
-	case m := <-chB:
-		t.Errorf("message delivered despite 100%% loss: %v", m)
+	case fr := <-chB:
+		t.Errorf("frame delivered despite 100%% loss: %v", fr)
 	case <-time.After(20 * time.Millisecond):
 	}
 	if st := f.Stats(); st.MessagesDropped != 1 {
@@ -241,6 +255,74 @@ func TestProcessesSorted(t *testing.T) {
 	f.Detach(pid(2))
 	if len(f.Processes()) != 2 {
 		t.Error("Detach did not remove the process")
+	}
+}
+
+func TestSendBatchDeliversOneFrame(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	batch := []*types.Message{msg(a, b, types.KindCast), msg(a, b, types.KindCast), msg(a, b, types.KindCastAck)}
+	if err := f.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	frame := recvFrame(t, chB)
+	if len(frame) != 3 {
+		t.Fatalf("frame carries %d messages, want 3", len(frame))
+	}
+	st := f.Stats()
+	if st.MessagesSent != 3 || st.MessagesDelivered != 3 {
+		t.Errorf("message accounting = %+v, want 3 sent / 3 delivered", st)
+	}
+	if st.FramesSent != 1 {
+		t.Errorf("FramesSent = %d, want 1 (single batch frame)", st.FramesSent)
+	}
+	if st.PerKind[types.KindCast] != 2 || st.PerKind[types.KindCastAck] != 1 {
+		t.Errorf("per-kind accounting = %v", st.PerKind)
+	}
+	// Receiver-side mutation must not reach the sender (clone-on-deliver).
+	frame[0].Payload[0] = 'X'
+	if batch[0].Payload[0] == 'X' {
+		t.Error("receiver mutation visible to sender: SendBatch did not clone")
+	}
+}
+
+func TestSendBatchWholeFrameDropsOnCrashedDest(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	_, _ = f.Attach(b)
+	f.Crash(b)
+	err := f.SendBatch([]*types.Message{msg(a, b, types.KindCast), msg(a, b, types.KindCast)})
+	if !errors.Is(err, types.ErrCrashed) {
+		t.Errorf("err = %v, want ErrCrashed", err)
+	}
+	if st := f.Stats(); st.MessagesDropped != 2 {
+		t.Errorf("MessagesDropped = %d, want 2 (whole frame)", st.MessagesDropped)
+	}
+}
+
+func TestSendBatchDropRuleFiltersWithinFrame(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+	f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindCastAck })
+
+	batch := []*types.Message{msg(a, b, types.KindCast), msg(a, b, types.KindCastAck), msg(a, b, types.KindCast)}
+	if err := f.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	frame := recvFrame(t, chB)
+	if len(frame) != 2 {
+		t.Fatalf("frame carries %d messages, want 2 (ack filtered out)", len(frame))
+	}
+	for _, m := range frame {
+		if m.Kind != types.KindCast {
+			t.Errorf("unexpected kind %v survived the drop rule", m.Kind)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 // Package node implements the per-process runtime every protocol layer runs
 // on: an actor-style event loop that owns all protocol state for one
-// simulated workstation process.
+// workstation process (simulated or TCP — the paper's substrate-independence
+// claim starts here).
 //
 // # Concurrency model
 //
@@ -10,6 +11,23 @@
 // Handlers must not block; blocking convenience calls (Request, and the
 // group layer's Join/Cast helpers) are issued from application goroutines
 // and park on channels that the actor goroutine signals.
+//
+// # Batching and pipelining
+//
+// Outbound multicast traffic (casts, cast acks, ABCAST order announcements)
+// is coalesced by a per-destination outbox: sends enqueue, and the pending
+// queues are flushed as transport batch frames when the actor runs out of
+// queued work, when a queue reaches Batching.MaxBatch, or at the latest
+// after Batching.Window. Because the flush-on-idle path runs before the
+// actor blocks, batching adds no latency when the process is idle and
+// amortizes per-send cost exactly when the process is busy. Error-sensitive
+// kinds (RPC, membership, heartbeats, hierarchy management) keep the
+// synchronous direct path, and a direct send first flushes whatever the
+// outbox holds for that destination, so per-destination FIFO order is
+// preserved across both paths. Inbound frames are dispatched as batches:
+// runs of consecutive same-kind messages go to a HandleBatch handler when
+// one is registered (the group layer registers one for casts), letting the
+// ordering engines release deliveries in one pass.
 package node
 
 import (
@@ -27,13 +45,20 @@ import (
 // goroutine and must not block.
 type Handler func(*types.Message)
 
+// BatchHandler processes a run of consecutive inbound messages of one kind
+// that arrived in the same transport frame. It runs on the node's actor
+// goroutine and must not block.
+type BatchHandler func([]*types.Message)
+
 // Node hosts one process.
 type Node struct {
 	pid types.ProcessID
 	ep  transport.Endpoint
+	ob  *outbox // nil when batching is disabled
 
 	handlersMu sync.RWMutex
 	handlers   map[types.Kind]Handler
+	batchH     map[types.Kind]BatchHandler
 	defaultH   Handler
 
 	actions chan func()
@@ -49,23 +74,33 @@ type Node struct {
 	timers  map[*time.Timer]struct{}
 }
 
-// New attaches a new node for pid to the network and returns it. The node
-// does not process messages until Start is called, giving callers a window
-// to register handlers.
+// New attaches a new node for pid to the network with default batching and
+// returns it. The node does not process messages until Start is called,
+// giving callers a window to register handlers.
 func New(pid types.ProcessID, network transport.Network) (*Node, error) {
+	return NewWithBatching(pid, network, DefaultBatching())
+}
+
+// NewWithBatching is New with explicit outbox batching knobs.
+func NewWithBatching(pid types.ProcessID, network transport.Network, b Batching) (*Node, error) {
 	ep, err := network.Attach(pid)
 	if err != nil {
 		return nil, fmt.Errorf("node %v: %w", pid, err)
 	}
-	return &Node{
+	n := &Node{
 		pid:      pid,
 		ep:       ep,
 		handlers: make(map[types.Kind]Handler),
+		batchH:   make(map[types.Kind]BatchHandler),
 		actions:  make(chan func(), 1024),
 		stop:     make(chan struct{}),
 		stopped:  make(chan struct{}),
 		timers:   make(map[*time.Timer]struct{}),
-	}, nil
+	}
+	if !b.Disable {
+		n.ob = newOutbox(ep, b.withDefaults())
+	}
+	return n, nil
 }
 
 // PID returns the process id hosted by this node.
@@ -85,6 +120,21 @@ func (n *Node) Handle(kind types.Kind, h Handler) {
 		return
 	}
 	n.handlers[kind] = h
+}
+
+// HandleBatch registers a batch handler for a message kind: runs of
+// consecutive inbound messages of that kind arriving in one transport frame
+// are handed over as a slice instead of one call per message. Kinds without
+// a batch handler fall back to the per-message Handler. Registering nil
+// removes the batch handler.
+func (n *Node) HandleBatch(kind types.Kind, h BatchHandler) {
+	n.handlersMu.Lock()
+	defer n.handlersMu.Unlock()
+	if h == nil {
+		delete(n.batchH, kind)
+		return
+	}
+	n.batchH[kind] = h
 }
 
 // HandleDefault registers a catch-all handler for kinds without a specific
@@ -110,6 +160,9 @@ func (n *Node) Stop() {
 		if n.started.Load() {
 			<-n.stopped
 		}
+		if n.ob != nil {
+			n.ob.stop()
+		}
 		n.timerMu.Lock()
 		for t := range n.timers {
 			t.Stop()
@@ -134,12 +187,52 @@ func (n *Node) loop() {
 			return
 		case fn := <-n.actions:
 			fn()
-		case msg, ok := <-inbox:
+		case frame, ok := <-inbox:
 			if !ok {
 				return
 			}
-			n.dispatch(msg)
+			n.dispatchFrame(frame)
+		default:
+			// Out of queued work: flush coalesced sends before blocking, so
+			// batching never delays a message while the process is idle.
+			if n.ob != nil {
+				n.ob.flushAll()
+			}
+			select {
+			case <-n.stop:
+				return
+			case fn := <-n.actions:
+				fn()
+			case frame, ok := <-inbox:
+				if !ok {
+					return
+				}
+				n.dispatchFrame(frame)
+			}
 		}
+	}
+}
+
+// dispatchFrame hands one inbound frame to the handler table. Runs of
+// consecutive same-kind messages go to the kind's BatchHandler when one is
+// registered; everything else is dispatched per message.
+func (n *Node) dispatchFrame(frame []*types.Message) {
+	for i := 0; i < len(frame); {
+		kind := frame[i].Kind
+		n.handlersMu.RLock()
+		bh := n.batchH[kind]
+		n.handlersMu.RUnlock()
+		if bh == nil {
+			n.dispatch(frame[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(frame) && frame[j].Kind == kind {
+			j++
+		}
+		bh(frame[i:j])
+		i = j
 	}
 }
 
@@ -198,22 +291,43 @@ func (n *Node) Call(fn func()) error {
 
 // Send fills in the sender and transmits msg. It may be called from any
 // goroutine, including handlers.
+//
+// Hot-path multicast kinds (casts, cast acks, order announcements) are
+// coalesced through the outbox and flushed as batch frames; their transport
+// errors surface asynchronously, like loss on a real network. All other
+// kinds are transmitted synchronously, after flushing anything the outbox
+// holds for the same destination so per-destination FIFO order is kept.
 func (n *Node) Send(to types.ProcessID, msg *types.Message) error {
 	msg.From = n.pid
 	msg.To = to
+	if n.ob != nil {
+		if batchable(msg.Kind) {
+			return n.ob.enqueue(msg)
+		}
+		n.ob.flushDest(to)
+	}
 	return n.ep.Send(msg)
 }
 
-// SendCopies sends an independent clone of the template to every listed
-// destination (skipping the node itself) and returns the number sent.
+// SendCopies sends a copy of the template to every listed destination
+// (skipping the node itself) and returns the number sent. The copies are
+// shallow — they share the template's payload and timestamp arrays, which
+// the transports never let a receiver alias — so a fan-out of n costs n
+// envelope copies, not n payload copies. The template's arrays must not be
+// mutated after the call: receiver isolation happens when each copy's
+// frame is transmitted, which for batched kinds can be up to a flush
+// window later.
 func (n *Node) SendCopies(dests []types.ProcessID, template *types.Message) int {
+	// One backing allocation for all copies; the append never exceeds the
+	// fixed capacity, so the &block[...] pointers stay stable.
+	block := make([]types.Message, 0, len(dests))
 	sent := 0
 	for _, d := range dests {
 		if d == n.pid {
 			continue
 		}
-		m := template.Clone()
-		if err := n.Send(d, m); err == nil {
+		block = append(block, *template)
+		if err := n.Send(d, &block[len(block)-1]); err == nil {
 			sent++
 		}
 	}

@@ -33,14 +33,14 @@ func (m *Memory) Attach(pid types.ProcessID) (Endpoint, error) {
 type memEndpoint struct {
 	pid    types.ProcessID
 	fabric *netsim.Fabric
-	inbox  <-chan *types.Message
+	inbox  <-chan []*types.Message
 
 	mu     sync.Mutex
 	closed bool
 }
 
-func (e *memEndpoint) PID() types.ProcessID         { return e.pid }
-func (e *memEndpoint) Inbox() <-chan *types.Message { return e.inbox }
+func (e *memEndpoint) PID() types.ProcessID           { return e.pid }
+func (e *memEndpoint) Inbox() <-chan []*types.Message { return e.inbox }
 
 func (e *memEndpoint) Send(msg *types.Message) error {
 	e.mu.Lock()
@@ -50,6 +50,16 @@ func (e *memEndpoint) Send(msg *types.Message) error {
 		return fmt.Errorf("memory transport send from %v: %w", e.pid, types.ErrStopped)
 	}
 	return e.fabric.Send(msg)
+}
+
+func (e *memEndpoint) SendBatch(msgs []*types.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("memory transport send from %v: %w", e.pid, types.ErrStopped)
+	}
+	return e.fabric.SendBatch(msgs)
 }
 
 func (e *memEndpoint) Close() error {

@@ -1,8 +1,9 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -81,7 +82,7 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 		pid:   pid,
 		net:   t,
 		ln:    ln,
-		inbox: make(chan *types.Message, 1024),
+		inbox: make(chan []*types.Message, 1024),
 		conns: make(map[types.ProcessID]*tcpConn),
 		done:  make(chan struct{}),
 	}
@@ -91,29 +92,82 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 	return ep, nil
 }
 
-// wireMessage is the gob-encoded frame. It mirrors types.Message but keeps
-// the wire format independent of internal struct evolution. The Hello fields
-// are set on the first frame of every outbound connection: they announce the
-// dialer's process id and listen address so the accepting endpoint can route
-// replies without static peer configuration.
-type wireMessage struct {
-	Msg       types.Message
+// wireFrame is one transmission unit: a batch of messages plus optional
+// hello metadata. On the wire every frame is length-prefixed — a 4-byte
+// big-endian payload length followed by the gob encoding of the wireFrame —
+// so frame boundaries are explicit and a whole batch costs one socket
+// write. Msgs mirrors []types.Message (rather than internal pointers) to
+// keep the wire format independent of internal struct evolution; its
+// length-prefixed slice encoding carries the batch size. The Hello fields
+// are set on the first frame of every outbound connection: they announce
+// the dialer's process id and listen address so the accepting endpoint can
+// route replies without static peer configuration.
+type wireFrame struct {
+	Msgs      []types.Message
 	HelloFrom types.ProcessID
 	HelloAddr string
+}
+
+// maxFrameBytes bounds the decoded payload length so a corrupt or hostile
+// header cannot force an arbitrarily large allocation.
+const maxFrameBytes = 64 << 20
+
+// frameReader adapts the length-prefixed frame stream back into the
+// contiguous byte stream the persistent gob decoder expects: it strips the
+// 4-byte headers and hands the decoder the concatenated payloads.
+type frameReader struct {
+	r   io.Reader
+	rem uint32 // unread bytes of the current frame payload
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.rem == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+			return 0, err
+		}
+		fr.rem = binary.BigEndian.Uint32(hdr[:])
+		if fr.rem > maxFrameBytes {
+			return 0, fmt.Errorf("tcp transport: frame of %d bytes exceeds limit", fr.rem)
+		}
+	}
+	if uint32(len(p)) > fr.rem {
+		p = p[:fr.rem]
+	}
+	n, err := fr.r.Read(p)
+	fr.rem -= uint32(n)
+	return n, err
 }
 
 type tcpConn struct {
 	mu        sync.Mutex
 	conn      net.Conn
+	buf       bytes.Buffer // encode target, drained into one write per frame
 	enc       *gob.Encoder
 	helloSent bool
+}
+
+// writeFrame gob-encodes wf into the connection's buffer and writes it as
+// one length-prefixed unit with a single conn.Write (one syscall per
+// batch). Callers hold c.mu.
+func (c *tcpConn) writeFrame(wf *wireFrame) error {
+	c.buf.Reset()
+	if err := c.enc.Encode(wf); err != nil {
+		return err
+	}
+	payload := c.buf.Bytes()
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
+	copy(out[4:], payload)
+	_, err := c.conn.Write(out)
+	return err
 }
 
 type tcpEndpoint struct {
 	pid   types.ProcessID
 	net   *TCP
 	ln    net.Listener
-	inbox chan *types.Message
+	inbox chan []*types.Message
 
 	mu     sync.Mutex
 	conns  map[types.ProcessID]*tcpConn
@@ -121,8 +175,8 @@ type tcpEndpoint struct {
 	done   chan struct{}
 }
 
-func (e *tcpEndpoint) PID() types.ProcessID         { return e.pid }
-func (e *tcpEndpoint) Inbox() <-chan *types.Message { return e.inbox }
+func (e *tcpEndpoint) PID() types.ProcessID           { return e.pid }
+func (e *tcpEndpoint) Inbox() <-chan []*types.Message { return e.inbox }
 
 // Addr returns the endpoint's listen address.
 func (e *tcpEndpoint) Addr() string { return e.ln.Addr().String() }
@@ -139,24 +193,28 @@ func (e *tcpEndpoint) acceptLoop() {
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(&frameReader{r: conn})
 	for {
-		var wm wireMessage
-		if err := dec.Decode(&wm); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection torn down; the peer will reconnect if needed.
-			}
+		var wf wireFrame
+		if err := dec.Decode(&wf); err != nil {
+			// Connection torn down; the peer will reconnect if needed.
 			return
 		}
 		// A hello claiming the identity of a locally attached process is a
 		// misconfiguration (duplicate site id); never let it hijack the
 		// local route.
-		if !wm.HelloFrom.IsNil() && wm.HelloAddr != "" && !e.net.isLocal(wm.HelloFrom) {
-			e.net.AddPeer(wm.HelloFrom, wm.HelloAddr)
+		if !wf.HelloFrom.IsNil() && wf.HelloAddr != "" && !e.net.isLocal(wf.HelloFrom) {
+			e.net.AddPeer(wf.HelloFrom, wf.HelloAddr)
 		}
-		m := wm.Msg
+		if len(wf.Msgs) == 0 {
+			continue // hello-only frame
+		}
+		frame := make([]*types.Message, len(wf.Msgs))
+		for i := range wf.Msgs {
+			frame[i] = &wf.Msgs[i]
+		}
 		select {
-		case e.inbox <- &m:
+		case e.inbox <- frame:
 		case <-e.done:
 			return
 		}
@@ -164,52 +222,93 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 }
 
 func (e *tcpEndpoint) Send(msg *types.Message) error {
+	return e.SendBatch([]*types.Message{msg})
+}
+
+// maxFrameWire bounds the estimated payload bytes packed into one wire
+// frame. It sits far below maxFrameBytes so that gob overhead can never
+// push an accepted batch over the receiver's decode limit; batches of
+// large messages are split across several frames instead of producing one
+// the peer would reject (tearing down the connection and silently losing
+// the whole batch).
+const maxFrameWire = 16 << 20
+
+func (e *tcpEndpoint) SendBatch(msgs []*types.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	// Split oversized batches by estimated wire size. A single message
+	// always gets a frame even if it exceeds the bound on its own.
+	for start := 0; start < len(msgs); {
+		end, size := start, 0
+		for end < len(msgs) {
+			s := msgs[end].WireSize()
+			if end > start && size+s > maxFrameWire {
+				break
+			}
+			size += s
+			end++
+		}
+		if err := e.sendFrame(msgs[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) sendFrame(msgs []*types.Message) error {
+	to := msgs[0].To
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return fmt.Errorf("tcp transport send from %v: %w", e.pid, types.ErrStopped)
 	}
-	c := e.conns[msg.To]
+	c := e.conns[to]
 	e.mu.Unlock()
 
 	if c == nil {
-		addr, ok := e.net.PeerAddr(msg.To)
+		addr, ok := e.net.PeerAddr(to)
 		if !ok {
-			return fmt.Errorf("tcp transport send to %v: %w", msg.To, types.ErrNoSuchProcess)
+			return fmt.Errorf("tcp transport send to %v: %w", to, types.ErrNoSuchProcess)
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return fmt.Errorf("tcp transport dial %v (%s): %w", msg.To, addr, err)
+			return fmt.Errorf("tcp transport dial %v (%s): %w", to, addr, err)
 		}
-		c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		c = &tcpConn{conn: conn}
+		c.enc = gob.NewEncoder(&c.buf)
 		e.mu.Lock()
-		if existing := e.conns[msg.To]; existing != nil {
+		if existing := e.conns[to]; existing != nil {
 			// Raced with another sender; keep the first connection.
 			e.mu.Unlock()
 			conn.Close()
 			c = existing
 		} else {
-			e.conns[msg.To] = c
+			e.conns[to] = c
 			e.mu.Unlock()
 		}
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	wm := wireMessage{Msg: *msg}
-	if !c.helloSent {
-		wm.HelloFrom = e.pid
-		wm.HelloAddr = e.advertiseAddr(c.conn)
+	wf := wireFrame{Msgs: make([]types.Message, len(msgs))}
+	for i, m := range msgs {
+		wf.Msgs[i] = *m
 	}
-	if err := c.enc.Encode(wm); err != nil {
+	if !c.helloSent {
+		wf.HelloFrom = e.pid
+		wf.HelloAddr = e.advertiseAddr(c.conn)
+	}
+	if err := c.writeFrame(&wf); err != nil {
 		// Drop the broken connection so the next send redials.
 		e.mu.Lock()
-		if e.conns[msg.To] == c {
-			delete(e.conns, msg.To)
+		if e.conns[to] == c {
+			delete(e.conns, to)
 		}
 		e.mu.Unlock()
 		c.conn.Close()
-		return fmt.Errorf("tcp transport send to %v: %w", msg.To, err)
+		return fmt.Errorf("tcp transport send to %v: %w", to, err)
 	}
 	c.helloSent = true
 	return nil

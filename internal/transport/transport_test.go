@@ -11,15 +11,33 @@ import (
 
 func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
 
-func waitMsg(t *testing.T, ep Endpoint) *types.Message {
+func waitFrame(t *testing.T, ep Endpoint) []*types.Message {
 	t.Helper()
 	select {
-	case m := <-ep.Inbox():
-		return m
+	case frame := <-ep.Inbox():
+		if len(frame) == 0 {
+			t.Fatal("transport delivered an empty frame")
+		}
+		return frame
 	case <-time.After(2 * time.Second):
-		t.Fatal("timed out waiting for message")
+		t.Fatal("timed out waiting for frame")
 		return nil
 	}
+}
+
+// waitMsg receives single messages regardless of how the transport framed
+// them, buffering the rest of each frame for the next call.
+var pendingFrames = map[Endpoint][]*types.Message{}
+
+func waitMsg(t *testing.T, ep Endpoint) *types.Message {
+	t.Helper()
+	if q := pendingFrames[ep]; len(q) > 0 {
+		pendingFrames[ep] = q[1:]
+		return q[0]
+	}
+	frame := waitFrame(t, ep)
+	pendingFrames[ep] = frame[1:]
+	return frame[0]
 }
 
 func TestMemoryRoundTrip(t *testing.T) {
@@ -100,6 +118,83 @@ func TestTCPRoundTrip(t *testing.T) {
 	back := waitMsg(t, a)
 	if back.Kind != types.KindReply {
 		t.Errorf("reverse message %v", back)
+	}
+}
+
+// TestBatchFramingConformance pins the batch frame contract on both
+// transports: a SendBatch arrives as ONE frame carrying the messages in
+// batch order, and per-pair FIFO holds across mixed Send/SendBatch traffic.
+func TestBatchFramingConformance(t *testing.T) {
+	backends := []struct {
+		name   string
+		attach func(t *testing.T) (a, b Endpoint)
+	}{
+		{"memory", func(t *testing.T) (Endpoint, Endpoint) {
+			mem := NewMemory(netsim.New(netsim.DefaultConfig()))
+			a, err := mem.Attach(pid(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := mem.Attach(pid(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		}},
+		{"tcp", func(t *testing.T) (Endpoint, Endpoint) {
+			tn := NewTCP()
+			a, err := tn.Attach(pid(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { a.Close() })
+			b, err := tn.Attach(pid(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Close() })
+			return a, b
+		}},
+	}
+	for _, backend := range backends {
+		t.Run(backend.name, func(t *testing.T) {
+			a, b := backend.attach(t)
+
+			batch := make([]*types.Message, 5)
+			for i := range batch {
+				batch[i] = &types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: uint64(i)}
+			}
+			if err := a.SendBatch(batch); err != nil {
+				t.Fatalf("SendBatch: %v", err)
+			}
+			frame := waitFrame(t, b)
+			if len(frame) != 5 {
+				t.Fatalf("batch of 5 arrived as frame of %d", len(frame))
+			}
+			for i, m := range frame {
+				if m.Seq != uint64(i) {
+					t.Fatalf("frame[%d].Seq = %d: batch order not preserved", i, m.Seq)
+				}
+			}
+
+			// Mixed singles and batches on one pair must stay FIFO.
+			_ = a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: 100})
+			_ = a.SendBatch([]*types.Message{
+				{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: 101},
+				{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: 102},
+			})
+			_ = a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: 103})
+			for want := uint64(100); want <= 103; want++ {
+				if got := waitMsg(t, b); got.Seq != want {
+					t.Fatalf("got seq %d, want %d: mixed batch traffic reordered", got.Seq, want)
+				}
+			}
+
+			// Empty batches are a no-op, not a wire frame.
+			if err := a.SendBatch(nil); err != nil {
+				t.Fatalf("empty SendBatch: %v", err)
+			}
+		})
 	}
 }
 
@@ -242,5 +337,47 @@ func TestTCPAttachAtFixedAddress(t *testing.T) {
 	addr, ok := tn.PeerAddr(pid(7))
 	if !ok || addr == "" {
 		t.Errorf("PeerAddr = %q, %v", addr, ok)
+	}
+}
+
+// TestTCPSendBatchSplitsOversizedFrames pins the sender-side frame bound: a
+// batch whose wire size exceeds one frame's budget must arrive split across
+// several frames — in order, nothing lost — rather than as one giant frame
+// the receiving decoder would reject (which would tear down the connection
+// and silently lose the whole batch).
+func TestTCPSendBatchSplitsOversizedFrames(t *testing.T) {
+	tn := NewTCP()
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	payload := make([]byte, 5<<20) // 5MB each; 5 of them exceed maxFrameWire
+	batch := make([]*types.Message, 5)
+	for i := range batch {
+		batch[i] = &types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Seq: uint64(i), Payload: payload}
+	}
+	if err := a.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	frames, got := 0, 0
+	for got < len(batch) {
+		frame := waitFrame(t, b)
+		frames++
+		for _, m := range frame {
+			if m.Seq != uint64(got) {
+				t.Fatalf("message %d arrived with seq %d: split reordered the batch", got, m.Seq)
+			}
+			got++
+		}
+	}
+	if frames < 2 {
+		t.Errorf("oversized batch arrived in %d frame(s), want a split into several", frames)
 	}
 }

@@ -215,6 +215,32 @@ func (m *Message) Clone() *Message {
 	return &c
 }
 
+// CloneFrame deep-clones a whole frame with a single backing allocation for
+// the envelopes (payloads and timestamp arrays are still copied per
+// message). Transports use it to isolate receivers from senders without
+// paying one allocator round-trip per message.
+func CloneFrame(msgs []*Message) []*Message {
+	block := make([]Message, len(msgs))
+	out := make([]*Message, len(msgs))
+	for i, m := range msgs {
+		block[i] = *m
+		if m.VT != nil {
+			block[i].VT = append([]uint64(nil), m.VT...)
+		}
+		if m.Path != nil {
+			block[i].Path = append([]uint32(nil), m.Path...)
+		}
+		if m.Payload != nil {
+			block[i].Payload = append([]byte(nil), m.Payload...)
+		}
+		if m.Group.Path != nil {
+			block[i].Group.Path = append([]uint32(nil), m.Group.Path...)
+		}
+		out[i] = &block[i]
+	}
+	return out
+}
+
 // String renders a compact description of the message for logs.
 func (m *Message) String() string {
 	return fmt.Sprintf("%s %s->%s group=%s view=%d id=%s corr=%d len=%d",

@@ -38,6 +38,7 @@ import (
 	"repro/internal/member"
 	"repro/internal/naming"
 	"repro/internal/netsim"
+	"repro/internal/node"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -76,6 +77,9 @@ type (
 	NetworkConfig = netsim.Config
 	// DetectorConfig configures heartbeat-based failure detection.
 	DetectorConfig = fdetect.Config
+	// BatchingConfig configures the per-process outbox that coalesces
+	// multicast traffic into transport batch frames.
+	BatchingConfig = node.Batching
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -110,6 +114,7 @@ type Option func(*options)
 type options struct {
 	netsim     NetworkConfig
 	detector   DetectorConfig
+	batching   BatchingConfig
 	fanout     int
 	resiliency int
 }
@@ -150,6 +155,27 @@ func WithDetector(cfg DetectorConfig) Option {
 // want this; message-counting experiments do not.
 func WithHeartbeats() Option {
 	return func(o *options) { o.detector = fdetect.DefaultConfig() }
+}
+
+// WithBatching tunes the hot-path send coalescing of every spawned process:
+// outbound multicast traffic queues per destination and is flushed as one
+// transport batch frame when the process runs out of work, when a queue
+// reaches maxBatch messages, or at the latest after the flush window. Both
+// substrates batch — the simulated fabric delivers a frame as one queue
+// operation, TCP writes it as one length-prefixed wire frame. Zero values
+// select the defaults (256 messages, 2ms). Batching is on by default;
+// WithBatching is only needed to tune it.
+func WithBatching(maxBatch int, window time.Duration) Option {
+	return func(o *options) {
+		o.batching = BatchingConfig{MaxBatch: maxBatch, Window: window}
+	}
+}
+
+// WithoutBatching disables send coalescing: every message is transmitted as
+// its own frame, the pre-batching behaviour. The E9 experiment uses it as
+// the baseline; real deployments have no reason to.
+func WithoutBatching() Option {
+	return func(o *options) { o.batching = BatchingConfig{Disable: true} }
 }
 
 // WithFanout sets the default fanout bound used by CreateService/JoinService
@@ -270,7 +296,7 @@ func (r *Runtime) Spawn() (*Process, error) {
 	if r.tcp != nil {
 		network = r.tcp
 	}
-	bp, err := boot.Spawn(pid, network, r.opts.detector)
+	bp, err := boot.Spawn(pid, network, r.opts.detector, r.opts.batching)
 	if err != nil {
 		r.mu.Lock()
 		delete(r.sites, uint32(pid.Site))
@@ -315,7 +341,7 @@ func (r *Runtime) SpawnAt(site uint32, listen string) (*Process, error) {
 		release()
 		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
 	}
-	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector)
+	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector, r.opts.batching)
 	if err != nil {
 		_ = ep.Close()
 		release()

@@ -300,3 +300,43 @@ func TestFacadeNameService(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeBatchingOptions pins the batching knobs: casts flow end to end
+// with tuned batching, with batching disabled, and (the default) with it
+// on — and the simulated fabric's frame counters reflect the difference.
+func TestFacadeBatchingOptions(t *testing.T) {
+	run := func(rt *isis.Runtime) (delivered int32, st isis.Stats) {
+		defer rt.Shutdown()
+		ctx := ctxT(t)
+		var count atomic.Int32
+		cfg := isis.GroupConfig{OnDeliver: func(isis.Delivery) { count.Add(1) }}
+		first := rt.MustSpawn()
+		g, err := first.CreateGroup("b", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second := rt.MustSpawn()
+		if _, err := second.JoinGroup(ctx, "b", first.ID(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		const casts = 50
+		for i := 0; i < casts; i++ {
+			g.CastAsync(isis.FBCAST, []byte{byte(i)})
+		}
+		if err := isis.Await(ctx, func() bool { return count.Load() == 2*casts }); err != nil {
+			t.Fatalf("delivered %d of %d: %v", count.Load(), 2*casts, err)
+		}
+		return count.Load(), rt.Stats()
+	}
+
+	_, tuned := run(isis.NewSimulated(isis.WithBatching(16, time.Millisecond)))
+	_, off := run(isis.NewSimulated(isis.WithoutBatching()))
+	if tuned.FramesSent >= off.FramesSent {
+		t.Errorf("tuned batching sent %d frames, unbatched %d: coalescing had no effect",
+			tuned.FramesSent, off.FramesSent)
+	}
+	if tuned.MessagesSent != off.MessagesSent {
+		t.Errorf("message counts differ across batching modes: %d vs %d (batching must only change framing)",
+			tuned.MessagesSent, off.MessagesSent)
+	}
+}

@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment table (E1–E9) and ablation
+// Benchmarks regenerating every experiment table (E1–E10) and ablation
 // (A1–A3) from EXPERIMENTS.md, one benchmark per experiment. Each benchmark
 // runs the Quick-scale sweep once per iteration and reports the headline
 // number as a custom metric; `cmd/isis-bench -scale full` prints the
@@ -95,6 +95,14 @@ func BenchmarkE8SplitMerge(b *testing.B) {
 func BenchmarkE9BatchingThroughput(b *testing.B) {
 	t := runTable(b, experiments.E9BatchingThroughput)
 	b.ReportMetric(float64(t.Rows()), "rows")
+}
+
+// BenchmarkE10ChaosSurvival regenerates E10: seeded fault scenarios with
+// the invariant checkers as the pass/fail gate. The reported metric is the
+// scenario count; any invariant violation fails the benchmark.
+func BenchmarkE10ChaosSurvival(b *testing.B) {
+	t := runTable(b, experiments.E10ChaosSurvival)
+	b.ReportMetric(float64(t.Rows()), "scenarios")
 }
 
 // BenchmarkAblationFanout regenerates A1: the fanout sweep.

@@ -1,0 +1,133 @@
+package boot_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/boot"
+	"repro/internal/fdetect"
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID {
+	return types.ProcessID{Site: types.SiteID(site), Incarnation: 1}
+}
+
+// TestSpawnWiresEveryLayer pins the canonical wiring: every component
+// present, the node started, and the pid threaded through.
+func TestSpawnWiresEveryLayer(t *testing.T) {
+	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if p.Node == nil || p.Detector == nil || p.Stack == nil || p.Host == nil {
+		t.Fatalf("missing layer: node=%v detector=%v stack=%v host=%v", p.Node, p.Detector, p.Stack, p.Host)
+	}
+	if p.PID() != pid(1) {
+		t.Errorf("PID = %v, want %v", p.PID(), pid(1))
+	}
+	if p.Stack.Node() != p.Node {
+		t.Error("stack bound to a different node")
+	}
+	if p.Stopped() {
+		t.Error("freshly spawned process reports stopped")
+	}
+}
+
+// TestSpawnDuplicatePIDRejected: attaching the same pid twice must fail at
+// boot, not half-wire a process.
+func TestSpawnDuplicatePIDRejected(t *testing.T) {
+	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if _, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}); err == nil {
+		t.Fatal("duplicate pid accepted")
+	}
+}
+
+// TestStopIsIdempotent: crash-then-shutdown paths stop a process twice.
+func TestStopIsIdempotent(t *testing.T) {
+	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	p.Stop()
+	if !p.Stopped() {
+		t.Error("process not stopped after Stop")
+	}
+}
+
+// TestThreeNodeClusterOverBoot boots three processes on one fabric through
+// boot.Spawn alone (the same path the facade and the TCP daemon use), forms
+// a group, multicasts, and crashes a member — asserting the detector→stack
+// suspicion wiring removes it from the view.
+func TestThreeNodeClusterOverBoot(t *testing.T) {
+	fabric := netsim.New(netsim.DefaultConfig())
+	net := transport.NewMemory(fabric)
+	procs := make([]*boot.Proc, 3)
+	for i := range procs {
+		p, err := boot.Spawn(pid(uint32(i+1)), net, fdetect.Config{}, node.Batching{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+		defer p.Stop()
+	}
+
+	var delivered atomic.Int32
+	cfg := group.Config{OnDeliver: func(group.Delivery) { delivered.Add(1) }}
+	gid := types.FlatGroup("boot-g")
+	groups := make([]*group.Group, 3)
+	var err error
+	groups[0], err = procs[0].Stack.Create(gid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 1; i < 3; i++ {
+		groups[i], err = procs[i].Stack.Join(ctx, gid, procs[0].PID(), cfg)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := groups[0].Cast(ctx, types.FIFO, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return delivered.Load() == 3 })
+
+	// Crash member 2 and report the suspicion the way the detector would.
+	fabric.Crash(procs[2].PID())
+	procs[2].Stop()
+	for i := 0; i < 2; i++ {
+		stack := procs[i].Stack
+		failed := procs[2].PID()
+		procs[i].Node.Do(func() { stack.ReportSuspicion(failed) })
+	}
+	waitFor(t, func() bool { return groups[0].Size() == 2 && groups[1].Size() == 2 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

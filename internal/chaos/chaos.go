@@ -1,0 +1,202 @@
+// Package chaos is the deterministic fault-injection harness: it generates
+// seeded fault scenarios, drives them against a simulated cluster while
+// concurrent workloads multicast in FIFO, causal and totally ordered groups,
+// and then verifies the virtual-synchrony invariants over the recorded
+// delivery and view histories.
+//
+// # Determinism and replay
+//
+// A Scenario — the full timeline of faults plus the workload plan — is a
+// pure function of (seed, profile): Generate(seed, p) always returns the
+// same scenario, Scenario.Encode always returns the same bytes, and
+// Scenario.Hash (the "history hash" printed by failing tests and by
+// cmd/isis-chaos) is a digest of those bytes. A failing seed therefore
+// replays the exact same fault timeline, workload and network-level fault
+// parameters with `go test -run TestChaosReplay -seed=N ./internal/chaos`
+// or `isis-chaos -seed=N`. What is not bit-reproducible is goroutine
+// scheduling, which is why every checker verifies schedule-independent
+// invariants (prefix properties, order agreement, set agreement) rather
+// than comparing runs against a golden delivery log.
+//
+// # Invariants
+//
+// Always checked, for every scenario:
+//
+//   - no duplicate deliveries: a (view, sender, seq) is delivered at most
+//     once per member, even under duplication injection;
+//   - payload integrity: every member that delivers a message delivers the
+//     same payload;
+//   - FIFO: per view, each member delivers every sender's messages as the
+//     contiguous prefix 1..k, in order (FBCAST and CBCAST groups);
+//   - causal precedence: per view, no member delivers a message before one
+//     that causally precedes it (CBCAST groups, via vector timestamps);
+//   - total order: per view, each member delivers the contiguous agreed
+//     prefix 1..k, and any two members agree on which message holds every
+//     agreed slot (ABCAST groups);
+//   - view agreement: any two members that install a (group, view id)
+//     install identical member lists, and each member's view ids are
+//     strictly increasing.
+//
+// Additionally checked for strict scenarios (no loss, no partitions, no
+// reordering — crash, restart and duplication faults only):
+//
+//   - virtually synchronous delivery: members that install view v+1 after
+//     view v delivered exactly the same set of view-v messages from every
+//     sender that survived into v+1. (Messages from crashed senders are
+//     exempt: without retransmission, survivors can receive different
+//     prefixes of a dead sender's traffic, and the flush cannot recover
+//     copies nobody has.)
+//
+// Lossy scenarios skip only the set-agreement check, because unrecoverable
+// message loss legitimately yields different delivered prefixes per member
+// (there is no retransmission layer); every other invariant must hold under
+// arbitrary loss, duplication and reordering.
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Profile bounds what Generate may put into a scenario. All probabilities
+// are per step; bursts and partitions are always closed out (healed) before
+// the settle phase so a run can quiesce.
+type Profile struct {
+	// Name tags the profile in reports and artifacts.
+	Name string
+	// Nodes is the initial cluster size.
+	Nodes int
+	// Steps is the number of timeline steps.
+	Steps int
+	// StepInterval is the wall-clock pacing between timeline steps.
+	StepInterval time.Duration
+	// CastsPerStep is how many multicasts each live member issues per group
+	// per step.
+	CastsPerStep int
+	// Orderings selects the groups the workload runs in (one group per
+	// ordering).
+	Orderings []types.Ordering
+
+	// MaxCrashes bounds how many processes may be down at once (restarts
+	// free up budget).
+	MaxCrashes int
+	// CrashProb is the per-step probability of crashing one live member.
+	CrashProb float64
+	// RestartProb is the per-step probability of replacing one crashed
+	// member with a fresh process that rejoins every group.
+	RestartProb float64
+
+	// PartitionProb is the per-step probability of splitting the live
+	// members into two partitions (lossy scenarios only).
+	PartitionProb float64
+	// PartitionSteps caps how many steps a partition lasts before healing.
+	PartitionSteps int
+
+	// LossProb starts a random-loss burst (lossy scenarios only); the rate
+	// is drawn from (0, MaxLossRate].
+	LossProb    float64
+	MaxLossRate float64
+	// DelayProb starts a latency burst (lossy scenarios only: extra delay
+	// breaks per-pair FIFO arrival the same way reordering does); base and
+	// jitter are drawn from (0, MaxDelay].
+	DelayProb float64
+	MaxDelay  time.Duration
+	// DupProb starts a duplication burst; the rate is drawn from
+	// (0, MaxDupRate]. Duplication is allowed in strict scenarios: the
+	// ordering engines must absorb duplicates without any invariant
+	// weakening.
+	DupProb    float64
+	MaxDupRate float64
+	// ReorderProb starts a reordering burst (lossy scenarios only); the
+	// rate is drawn from (0, MaxReorderRate] with delay cap ReorderDelay.
+	ReorderProb    float64
+	MaxReorderRate float64
+	ReorderDelay   time.Duration
+	// BurstSteps caps how many steps a loss/delay/dup/reorder burst lasts.
+	BurstSteps int
+
+	// LossyFraction is the fraction of seeds generated as lossy scenarios
+	// (loss, partitions, delay and reordering enabled; set-agreement check
+	// disabled). The rest are strict scenarios.
+	LossyFraction float64
+
+	// SettleTimeout bounds the post-timeline quiesce (waiting for
+	// deliveries and view changes to stop).
+	SettleTimeout time.Duration
+}
+
+// DefaultProfile is the standard chaos mix: a mid-size cluster, every fault
+// class, roughly half the seeds strict.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:         "default",
+		Nodes:        6,
+		Steps:        16,
+		StepInterval: 8 * time.Millisecond,
+		CastsPerStep: 3,
+		Orderings:    []types.Ordering{types.FIFO, types.Causal, types.Total},
+
+		MaxCrashes:  2,
+		CrashProb:   0.12,
+		RestartProb: 0.25,
+
+		PartitionProb:  0.06,
+		PartitionSteps: 3,
+
+		LossProb:       0.10,
+		MaxLossRate:    0.08,
+		DelayProb:      0.10,
+		MaxDelay:       2 * time.Millisecond,
+		DupProb:        0.12,
+		MaxDupRate:     0.25,
+		ReorderProb:    0.10,
+		MaxReorderRate: 0.20,
+		ReorderDelay:   2 * time.Millisecond,
+		BurstSteps:     4,
+
+		LossyFraction: 0.5,
+		SettleTimeout: 10 * time.Second,
+	}
+}
+
+// SmokeProfile is the fast profile CI fuzzes hundreds of seeds with: a small
+// cluster and a short timeline, but every fault class still enabled.
+func SmokeProfile() Profile {
+	p := DefaultProfile()
+	p.Name = "smoke"
+	p.Nodes = 4
+	p.Steps = 8
+	p.StepInterval = 4 * time.Millisecond
+	p.CastsPerStep = 2
+	p.MaxCrashes = 1
+	p.SettleTimeout = 8 * time.Second
+	return p
+}
+
+// SoakProfile is the long-run profile for cmd/isis-chaos soaks: a bigger
+// cluster, a long timeline, more crash budget.
+func SoakProfile() Profile {
+	p := DefaultProfile()
+	p.Name = "soak"
+	p.Nodes = 8
+	p.Steps = 120
+	p.StepInterval = 10 * time.Millisecond
+	p.MaxCrashes = 3
+	p.CrashProb = 0.08
+	p.SettleTimeout = 30 * time.Second
+	return p
+}
+
+// ProfileByName resolves the named built-in profile ("default", "smoke",
+// "soak"); unknown names fall back to the default profile.
+func ProfileByName(name string) Profile {
+	switch name {
+	case "smoke":
+		return SmokeProfile()
+	case "soak":
+		return SoakProfile()
+	default:
+		return DefaultProfile()
+	}
+}

@@ -1,0 +1,189 @@
+package chaos_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// Replay flags: `go test -run TestChaosReplay -seed=N [-profile=smoke]`
+// re-runs exactly one generated scenario. cmd/isis-chaos accepts the same
+// seed/profile pair and prints the same scenario hash, which is the replay
+// contract: matching hashes mean the same fault timeline, workload plan and
+// network fault parameters ran in both places.
+var (
+	seedFlag    = flag.Int64("seed", 0, "chaos scenario seed for TestChaosReplay")
+	profileFlag = flag.String("profile", "smoke", "chaos profile for TestChaosReplay (smoke, default, soak)")
+)
+
+// seedCount reads CHAOS_SEEDS (how many seeds TestChaosSeeds fuzzes); CI
+// sets it to hundreds, the default keeps plain `go test ./...` quick.
+func seedCount() int {
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 12
+}
+
+// reportFailure prints the replay instructions and, when CHAOS_ARTIFACT_DIR
+// is set (the CI chaos-smoke job), appends the failing seed to the artifact
+// file the job uploads.
+func reportFailure(t *testing.T, res *chaos.Result) {
+	t.Helper()
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	t.Errorf("failing scenario: %s", res.Scenario.Summary())
+	t.Errorf("history hash: %s", res.Hash)
+	t.Errorf("replay with: go test -run TestChaosReplay -seed=%d -profile=%s ./internal/chaos  (or: isis-chaos -seed=%d -profile=%s)",
+		res.Scenario.Seed, res.Scenario.Profile.Name, res.Scenario.Seed, res.Scenario.Profile.Name)
+	if dir := os.Getenv("CHAOS_ARTIFACT_DIR"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		f, err := os.OpenFile(filepath.Join(dir, "failing-seeds.txt"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "seed=%d profile=%s hash=%s violations=%d\n",
+				res.Scenario.Seed, res.Scenario.Profile.Name, res.Hash, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Fprintf(f, "  %s\n", v)
+			}
+			_ = f.Close()
+		}
+	}
+}
+
+// TestGenerateIsDeterministic pins the replay contract at the generator
+// level: the same (seed, profile) must yield byte-identical scenarios and
+// hashes, and different seeds must diverge.
+func TestGenerateIsDeterministic(t *testing.T) {
+	p := chaos.DefaultProfile()
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := chaos.Generate(seed, p), chaos.Generate(seed, p)
+		if string(a.Encode()) != string(b.Encode()) {
+			t.Fatalf("seed %d: Generate not deterministic", seed)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("seed %d: hash not deterministic", seed)
+		}
+	}
+	if chaos.Generate(1, p).Hash() == chaos.Generate(2, p).Hash() {
+		t.Error("different seeds produced identical scenarios")
+	}
+}
+
+// TestGenerateClosesFaults: every scenario must end with no partition and
+// no open loss/delay/dup/reorder burst, or runs could never quiesce.
+func TestGenerateClosesFaults(t *testing.T) {
+	p := chaos.DefaultProfile()
+	for seed := int64(1); seed <= 200; seed++ {
+		s := chaos.Generate(seed, p)
+		partitioned := false
+		var loss, dup, reorder float64
+		var base, jit int64
+		for _, e := range s.Events {
+			switch e.Kind {
+			case chaos.EvPartition:
+				partitioned = true
+			case chaos.EvHeal:
+				partitioned = false
+			case chaos.EvLoss:
+				loss = e.Rate
+			case chaos.EvDup:
+				dup = e.Rate
+			case chaos.EvReorder:
+				reorder = e.Rate
+			case chaos.EvDelay:
+				base, jit = int64(e.Base), int64(e.Jit)
+			}
+			if !s.Lossy {
+				switch e.Kind {
+				case chaos.EvPartition, chaos.EvLoss, chaos.EvReorder, chaos.EvDelay:
+					t.Fatalf("seed %d: strict scenario contains lossy event %s", seed, e)
+				}
+			}
+		}
+		if partitioned || loss != 0 || dup != 0 || reorder != 0 || base != 0 || jit != 0 {
+			t.Errorf("seed %d: scenario ends with open faults (partitioned=%v loss=%v dup=%v reorder=%v delay=%v/%v)",
+				seed, partitioned, loss, dup, reorder, base, jit)
+		}
+	}
+}
+
+// TestChaosSeeds is the fuzzing regression net: it runs CHAOS_SEEDS (default
+// a dozen) generated scenarios and fails with replay instructions if any
+// invariant breaks. The CI chaos-smoke job runs it with CHAOS_SEEDS=200
+// under -race.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	profile := chaos.SmokeProfile()
+	n := seedCount()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.Generate(seed, profile))
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			if res.Failed() {
+				reportFailure(t, res)
+			}
+			if res.Deliveries == 0 {
+				t.Errorf("scenario delivered nothing: %s", res)
+			}
+		})
+	}
+}
+
+// TestChaosReplay runs exactly one scenario, selected by -seed/-profile, and
+// prints its hash; with the default seed it doubles as a single smoke run.
+func TestChaosReplay(t *testing.T) {
+	seed := *seedFlag
+	if seed == 0 {
+		seed = 1
+	}
+	s := chaos.Generate(seed, chaos.ProfileByName(*profileFlag))
+	t.Logf("scenario: %s", s.Summary())
+	t.Logf("history hash: %s", s.Hash())
+	res, err := chaos.Run(s)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	t.Logf("result: %s", res)
+	if res.Failed() {
+		reportFailure(t, res)
+	}
+}
+
+// TestRunRecordsFaultLog pins the fault plumbing end to end: a scenario with
+// faults must leave them in the fabric's fault log inside the result stats.
+func TestRunRecordsFaultLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	profile := chaos.SmokeProfile()
+	// Find a seed whose scenario actually contains events.
+	for seed := int64(1); seed <= 50; seed++ {
+		s := chaos.Generate(seed, profile)
+		if len(s.Events) == 0 {
+			continue
+		}
+		res, err := chaos.Run(s)
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if len(res.Stats.Faults) == 0 {
+			t.Errorf("scenario had %d events but the fabric fault log is empty", len(s.Events))
+		}
+		return
+	}
+	t.Skip("no seed with events in range (profile too quiet)")
+}

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/member"
+	"repro/internal/types"
+)
+
+// Synthetic-history tests: each feeds hand-built delivery/view sequences to
+// the checkers and asserts exactly which invariant fires, so a checker bug
+// cannot hide behind a healthy protocol (or vice versa).
+
+func tpid(site uint32) types.ProcessID {
+	return types.ProcessID{Site: types.SiteID(site), Incarnation: 1}
+}
+
+func gkey(o types.Ordering) string { return types.FlatGroup(GroupName(o)).Key() }
+
+func gid(o types.Ordering) types.GroupID { return types.FlatGroup(GroupName(o)) }
+
+func orderingsFor(os ...types.Ordering) map[string]types.Ordering {
+	out := make(map[string]types.Ordering)
+	for _, o := range os {
+		out[gkey(o)] = o
+	}
+	return out
+}
+
+func addDelivery(h *History, o types.Ordering, view types.ViewID, sender types.ProcessID, seq, agreed uint64, vt []uint64) {
+	d := group.Delivery{
+		Group:    gid(o),
+		View:     view,
+		From:     sender,
+		ID:       types.MsgID{Sender: sender, Seq: seq},
+		Ordering: o,
+		VT:       vt,
+		Payload:  []byte{byte(seq)},
+	}
+	if o == types.Total {
+		d.Seq = agreed
+	}
+	h.OnDeliver(gid(o), d)
+}
+
+func addView(h *History, o types.Ordering, id types.ViewID, members ...types.ProcessID) {
+	h.OnView(gid(o), member.NewView(gid(o), id, members))
+}
+
+func checksFired(vs []Violation) map[string]int {
+	out := make(map[string]int)
+	for _, v := range vs {
+		out[v.Check]++
+	}
+	return out
+}
+
+func TestCheckCleanHistoriesPass(t *testing.T) {
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	for _, h := range []*History{a, b} {
+		addView(h, types.FIFO, 1, tpid(1), tpid(2))
+		addDelivery(h, types.FIFO, 1, tpid(1), 1, 0, nil)
+		addDelivery(h, types.FIFO, 1, tpid(1), 2, 0, nil)
+		addDelivery(h, types.FIFO, 1, tpid(2), 1, 0, nil)
+	}
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true)
+	if len(vs) != 0 {
+		t.Fatalf("clean histories reported violations: %v", vs)
+	}
+}
+
+func TestCheckDetectsDuplicate(t *testing.T) {
+	h := NewHistory(tpid(1))
+	addView(h, types.FIFO, 1, tpid(1))
+	addDelivery(h, types.FIFO, 1, tpid(1), 1, 0, nil)
+	addDelivery(h, types.FIFO, 1, tpid(1), 1, 0, nil)
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO), false))
+	if fired["no-duplicates"] == 0 {
+		t.Errorf("duplicate delivery not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsFIFOGap(t *testing.T) {
+	h := NewHistory(tpid(1))
+	addView(h, types.FIFO, 1, tpid(1), tpid(2))
+	addDelivery(h, types.FIFO, 1, tpid(2), 1, 0, nil)
+	addDelivery(h, types.FIFO, 1, tpid(2), 3, 0, nil) // gap: 2 missing
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO), false))
+	if fired["fifo-prefix"] == 0 {
+		t.Errorf("FIFO gap not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsCausalInversion(t *testing.T) {
+	h := NewHistory(tpid(1))
+	addView(h, types.Causal, 1, tpid(1), tpid(2))
+	// VT {1,1} causally follows {1,0}; delivering it first is an inversion.
+	addDelivery(h, types.Causal, 1, tpid(2), 1, 0, []uint64{1, 1})
+	addDelivery(h, types.Causal, 1, tpid(1), 1, 0, []uint64{1, 0})
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Causal), false))
+	if fired["causal-precedence"] == 0 {
+		t.Errorf("causal inversion not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsTotalOrderDisagreement(t *testing.T) {
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	addView(a, types.Total, 1, tpid(1), tpid(2))
+	addView(b, types.Total, 1, tpid(1), tpid(2))
+	// Same agreed slot, different occupant at the two members.
+	addDelivery(a, types.Total, 1, tpid(1), 1, 1, nil)
+	addDelivery(b, types.Total, 1, tpid(2), 1, 1, nil)
+	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.Total), false))
+	if fired["total-agreement"] == 0 {
+		t.Errorf("total-order disagreement not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsTotalPrefixGap(t *testing.T) {
+	h := NewHistory(tpid(1))
+	addView(h, types.Total, 1, tpid(1), tpid(2))
+	addDelivery(h, types.Total, 1, tpid(2), 1, 1, nil)
+	addDelivery(h, types.Total, 1, tpid(2), 2, 3, nil) // agreed slot 2 skipped
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Total), false))
+	if fired["total-prefix"] == 0 {
+		t.Errorf("agreed-prefix gap not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsViewDisagreement(t *testing.T) {
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	addView(a, types.FIFO, 2, tpid(1), tpid(2))
+	addView(b, types.FIFO, 2, tpid(1), tpid(3)) // same id, different members
+	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), false))
+	if fired["view-agreement"] == 0 {
+		t.Errorf("view disagreement not detected: %v", fired)
+	}
+}
+
+func TestCheckDetectsVirtualSynchronyBreach(t *testing.T) {
+	// Members 1 and 2 both install views 1 and 2; sender 2 survives, but
+	// member 2 missed one of its view-1 messages.
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	for _, h := range []*History{a, b} {
+		addView(h, types.FIFO, 1, tpid(1), tpid(2), tpid(3))
+		addView(h, types.FIFO, 2, tpid(1), tpid(2)) // 3 crashed out
+	}
+	addDelivery(a, types.FIFO, 1, tpid(2), 1, 0, nil)
+	addDelivery(a, types.FIFO, 1, tpid(2), 2, 0, nil)
+	addDelivery(b, types.FIFO, 1, tpid(2), 1, 0, nil) // missing seq 2
+
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true)
+	fired := checksFired(vs)
+	if fired["virtual-synchrony"] == 0 {
+		t.Errorf("virtual-synchrony breach not detected: %v", vs)
+	}
+	// The same histories pass when the scenario was lossy (set agreement is
+	// not required under unrecoverable loss).
+	if vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), false); len(vs) != 0 {
+		t.Errorf("lossy mode still reported: %v", vs)
+	}
+}
+
+func TestCheckVirtualSynchronyExemptsCrashedSender(t *testing.T) {
+	// Sender 3 is removed in view 2; survivors hold different prefixes of
+	// its view-1 traffic — exempt, not a violation.
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	for _, h := range []*History{a, b} {
+		addView(h, types.FIFO, 1, tpid(1), tpid(2), tpid(3))
+		addView(h, types.FIFO, 2, tpid(1), tpid(2))
+	}
+	addDelivery(a, types.FIFO, 1, tpid(3), 1, 0, nil)
+	addDelivery(a, types.FIFO, 1, tpid(3), 2, 0, nil)
+	addDelivery(b, types.FIFO, 1, tpid(3), 1, 0, nil)
+	if vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true); len(vs) != 0 {
+		t.Errorf("crashed-sender prefix divergence wrongly reported: %v", vs)
+	}
+}
+
+func TestCheckVirtualSynchronyTerminalViewSkipsCrashed(t *testing.T) {
+	// Terminal view (no successor): member 2 crashed mid-view, so its short
+	// history is exempt; the surviving members must still agree.
+	a, b, c := NewHistory(tpid(1)), NewHistory(tpid(2)), NewHistory(tpid(3))
+	for _, h := range []*History{a, b, c} {
+		addView(h, types.FIFO, 1, tpid(1), tpid(2), tpid(3))
+	}
+	addDelivery(a, types.FIFO, 1, tpid(1), 1, 0, nil)
+	addDelivery(c, types.FIFO, 1, tpid(1), 1, 0, nil)
+	b.MarkCrashed() // delivered nothing before dying
+	if vs := CheckHistories([]*History{a, b, c}, orderingsFor(types.FIFO), true); len(vs) != 0 {
+		t.Errorf("terminal view with crashed member wrongly reported: %v", vs)
+	}
+}
+
+func TestViolationStringMentionsCheck(t *testing.T) {
+	v := Violation{Check: "fifo-prefix", Group: "g", Proc: tpid(1), View: 3, Detail: "boom"}
+	if s := v.String(); !strings.Contains(s, "fifo-prefix") || !strings.Contains(s, "boom") {
+		t.Errorf("violation rendering lost information: %q", s)
+	}
+}

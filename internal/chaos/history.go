@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/member"
+	"repro/internal/types"
+)
+
+// DeliveryRec is one recorded delivery: everything the invariant checkers
+// need, with the payload reduced to a digest.
+type DeliveryRec struct {
+	View    types.ViewID
+	Sender  types.ProcessID
+	Seq     uint64 // per-sender sequence within the view
+	Agreed  uint64 // agreed ABCAST slot (0 for other orderings)
+	VT      []uint64
+	Payload uint64 // FNV-64a digest of the payload
+}
+
+// History is the recorded observation of one process (one incarnation; a
+// restarted slot gets a fresh History): every view it installed and every
+// multicast it delivered, per group, in order.
+type History struct {
+	Proc types.ProcessID
+
+	mu         sync.Mutex
+	crashed    bool
+	views      map[string][]member.View
+	deliveries map[string][]DeliveryRec
+}
+
+// NewHistory creates an empty history for one process.
+func NewHistory(proc types.ProcessID) *History {
+	return &History{
+		Proc:       proc,
+		views:      make(map[string][]member.View),
+		deliveries: make(map[string][]DeliveryRec),
+	}
+}
+
+// OnView records one installed view. It matches the group.Observer signature
+// and runs on the process's actor goroutine.
+func (h *History) OnView(gid types.GroupID, v member.View) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := gid.Key()
+	h.views[k] = append(h.views[k], v)
+}
+
+// OnDeliver records one delivery. It matches the group.Observer signature
+// and runs on the process's actor goroutine.
+func (h *History) OnDeliver(gid types.GroupID, d group.Delivery) {
+	dig := fnv.New64a()
+	_, _ = dig.Write(d.Payload)
+	rec := DeliveryRec{
+		View:    d.View,
+		Sender:  d.ID.Sender,
+		Seq:     d.ID.Seq,
+		VT:      d.VT, // already a private copy
+		Payload: dig.Sum64(),
+	}
+	if d.Ordering == types.Total {
+		rec.Agreed = d.Seq
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := gid.Key()
+	h.deliveries[k] = append(h.deliveries[k], rec)
+}
+
+// MarkCrashed tags the history as belonging to a process the scenario
+// crashed; checkers exempt crashed members from end-of-run completeness.
+func (h *History) MarkCrashed() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed = true
+}
+
+// Crashed reports whether the process was crashed by the scenario.
+func (h *History) Crashed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashed
+}
+
+// Views returns the views installed for a group key, in install order.
+func (h *History) Views(gk string) []member.View {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]member.View(nil), h.views[gk]...)
+}
+
+// Deliveries returns the deliveries for a group key, in delivery order.
+func (h *History) Deliveries(gk string) []DeliveryRec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]DeliveryRec(nil), h.deliveries[gk]...)
+}
+
+// Counts returns how many views and deliveries have been recorded.
+func (h *History) Counts() (views, deliveries int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, vs := range h.views {
+		views += len(vs)
+	}
+	for _, ds := range h.deliveries {
+		deliveries += len(ds)
+	}
+	return views, deliveries
+}
+
+// EventCount returns the total number of recorded events (views plus
+// deliveries); the runner polls it to detect quiescence.
+func (h *History) EventCount() int {
+	v, d := h.Counts()
+	return v + d
+}
+
+// recorder owns the histories of every process a run ever spawned.
+type recorder struct {
+	mu    sync.Mutex
+	hists []*History
+}
+
+func newRecorder() *recorder { return &recorder{} }
+
+func (r *recorder) add(h *History) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, h)
+}
+
+func (r *recorder) histories() []*History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*History(nil), r.hists...)
+}
+
+func (r *recorder) eventCount() int {
+	r.mu.Lock()
+	hs := append([]*History(nil), r.hists...)
+	r.mu.Unlock()
+	n := 0
+	for _, h := range hs {
+		n += h.EventCount()
+	}
+	return n
+}

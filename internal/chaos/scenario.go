@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind enumerates scenario-level fault actions. Most map directly onto
+// a netsim fault primitive; EvRestart is handled by the scenario runner
+// (spawning a replacement process and rejoining every group is above the
+// network layer).
+type EventKind uint8
+
+const (
+	// EvCrash power-fails the process occupying a node slot.
+	EvCrash EventKind = 1 + iota
+	// EvRestart replaces a crashed slot with a fresh process that rejoins
+	// every workload group.
+	EvRestart
+	// EvPartition assigns a slot's process to a partition side.
+	EvPartition
+	// EvHeal returns every process to one partition.
+	EvHeal
+	// EvLoss sets the random loss rate (0 ends the burst).
+	EvLoss
+	// EvDelay sets the latency model (zeros end the burst).
+	EvDelay
+	// EvDup sets the data-path duplication rate.
+	EvDup
+	// EvReorder sets the data-path reordering rate and delay cap.
+	EvReorder
+)
+
+// String returns the symbolic event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvLoss:
+		return "loss"
+	case EvDelay:
+		return "delay"
+	case EvDup:
+		return "dup"
+	case EvReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault in a scenario timeline. Node indexes refer to
+// scenario node slots (0-based); the runner maps slots to the concrete
+// process occupying them at that step (restarts change the occupant).
+type Event struct {
+	Step int
+	Kind EventKind
+	Node int // slot for crash/restart/partition
+	Side int // partition side for EvPartition
+	Rate float64
+	Base time.Duration // delay base; reorder delay cap
+	Jit  time.Duration // delay jitter
+}
+
+// String renders the event for reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash:
+		return fmt.Sprintf("step %2d: crash node %d", e.Step, e.Node)
+	case EvRestart:
+		return fmt.Sprintf("step %2d: restart node %d", e.Step, e.Node)
+	case EvPartition:
+		return fmt.Sprintf("step %2d: node %d -> partition %d", e.Step, e.Node, e.Side)
+	case EvHeal:
+		return fmt.Sprintf("step %2d: heal partitions", e.Step)
+	case EvLoss:
+		return fmt.Sprintf("step %2d: loss rate %.3f", e.Step, e.Rate)
+	case EvDelay:
+		return fmt.Sprintf("step %2d: delay base=%v jitter=%v", e.Step, e.Base, e.Jit)
+	case EvDup:
+		return fmt.Sprintf("step %2d: duplication rate %.3f", e.Step, e.Rate)
+	case EvReorder:
+		return fmt.Sprintf("step %2d: reorder rate %.3f delay=%v", e.Step, e.Rate, e.Base)
+	default:
+		return fmt.Sprintf("step %2d: %s", e.Step, e.Kind)
+	}
+}
+
+// Scenario is one fully determined chaos run: the profile, the fault
+// timeline and whether lossy faults were enabled. Everything the runner and
+// the workload do is derived from this value, so Encode/Hash identify a run
+// completely.
+type Scenario struct {
+	Seed    int64
+	Profile Profile
+	// Lossy reports whether the generator enabled unrecoverable faults
+	// (loss, partitions, delay, reordering). Strict (non-lossy) scenarios
+	// additionally get the virtually-synchronous set-agreement check.
+	Lossy  bool
+	Events []Event
+}
+
+// Generate derives a scenario from a seed. It is a pure function: the same
+// (seed, profile) always yields the same scenario, which is what makes
+// failing seeds replayable. All random choices come from one private PRNG
+// seeded with seed; live-set bookkeeping uses sorted slices so no map
+// iteration order can leak into the result.
+func Generate(seed int64, p Profile) Scenario {
+	if p.BurstSteps < 1 {
+		p.BurstSteps = 1
+	}
+	if p.PartitionSteps < 1 {
+		p.PartitionSteps = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{Seed: seed, Profile: p}
+	s.Lossy = rng.Float64() < p.LossyFraction
+
+	alive := make([]bool, p.Nodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	liveSlots := func() []int {
+		var out []int
+		for i, a := range alive {
+			if a {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var crashedPool []int // slots awaiting restart, in crash order
+
+	const (
+		inactive = -1
+	)
+	partitionEnd, lossEnd, delayEnd, dupEnd, reorderEnd := inactive, inactive, inactive, inactive, inactive
+
+	emit := func(ev Event) { s.Events = append(s.Events, ev) }
+
+	for step := 0; step < p.Steps; step++ {
+		// Close expiring faults first so a new burst may start this step.
+		if partitionEnd != inactive && step >= partitionEnd {
+			emit(Event{Step: step, Kind: EvHeal})
+			partitionEnd = inactive
+		}
+		if lossEnd != inactive && step >= lossEnd {
+			emit(Event{Step: step, Kind: EvLoss, Rate: 0})
+			lossEnd = inactive
+		}
+		if delayEnd != inactive && step >= delayEnd {
+			emit(Event{Step: step, Kind: EvDelay})
+			delayEnd = inactive
+		}
+		if dupEnd != inactive && step >= dupEnd {
+			emit(Event{Step: step, Kind: EvDup, Rate: 0})
+			dupEnd = inactive
+		}
+		if reorderEnd != inactive && step >= reorderEnd {
+			emit(Event{Step: step, Kind: EvReorder, Rate: 0})
+			reorderEnd = inactive
+		}
+
+		// Crash: keep a majority of slots alive so the cluster can always
+		// make progress and the scenario stays about surviving faults, not
+		// about total destruction.
+		if live := liveSlots(); len(crashedPool) < p.MaxCrashes && len(live) > p.Nodes/2+1 && rng.Float64() < p.CrashProb {
+			victim := live[rng.Intn(len(live))]
+			emit(Event{Step: step, Kind: EvCrash, Node: victim})
+			alive[victim] = false
+			crashedPool = append(crashedPool, victim)
+		}
+		// Restart: one crashed slot may come back per step.
+		if len(crashedPool) > 0 && rng.Float64() < p.RestartProb {
+			i := rng.Intn(len(crashedPool))
+			slot := crashedPool[i]
+			crashedPool = append(crashedPool[:i], crashedPool[i+1:]...)
+			emit(Event{Step: step, Kind: EvRestart, Node: slot})
+			alive[slot] = true
+		}
+
+		if s.Lossy {
+			if live := liveSlots(); partitionEnd == inactive && len(live) >= 2 && rng.Float64() < p.PartitionProb {
+				// A random bipartition of the live slots, both sides
+				// guaranteed non-empty.
+				sides := make([]int, len(live))
+				for i := range sides {
+					sides[i] = rng.Intn(2)
+				}
+				sides[0] = 0
+				sides[len(sides)-1] = 1
+				for i, slot := range live {
+					emit(Event{Step: step, Kind: EvPartition, Node: slot, Side: sides[i]})
+				}
+				partitionEnd = step + 1 + rng.Intn(p.PartitionSteps)
+			}
+			if lossEnd == inactive && rng.Float64() < p.LossProb {
+				emit(Event{Step: step, Kind: EvLoss, Rate: rng.Float64() * p.MaxLossRate})
+				lossEnd = step + 1 + rng.Intn(p.BurstSteps)
+			}
+			if delayEnd == inactive && p.MaxDelay > 0 && rng.Float64() < p.DelayProb {
+				base := time.Duration(rng.Int63n(int64(p.MaxDelay)))
+				jit := time.Duration(rng.Int63n(int64(p.MaxDelay)))
+				emit(Event{Step: step, Kind: EvDelay, Base: base, Jit: jit})
+				delayEnd = step + 1 + rng.Intn(p.BurstSteps)
+			}
+			if reorderEnd == inactive && rng.Float64() < p.ReorderProb {
+				emit(Event{Step: step, Kind: EvReorder, Rate: rng.Float64() * p.MaxReorderRate, Base: p.ReorderDelay})
+				reorderEnd = step + 1 + rng.Intn(p.BurstSteps)
+			}
+		}
+		// Duplication is safe for strict scenarios too: the ordering engines
+		// must absorb duplicates without weakening any invariant.
+		if dupEnd == inactive && rng.Float64() < p.DupProb {
+			emit(Event{Step: step, Kind: EvDup, Rate: rng.Float64() * p.MaxDupRate})
+			dupEnd = step + 1 + rng.Intn(p.BurstSteps)
+		}
+	}
+
+	// Close every open fault at the settle step so the run can quiesce.
+	if partitionEnd != inactive {
+		emit(Event{Step: p.Steps, Kind: EvHeal})
+	}
+	if lossEnd != inactive {
+		emit(Event{Step: p.Steps, Kind: EvLoss, Rate: 0})
+	}
+	if delayEnd != inactive {
+		emit(Event{Step: p.Steps, Kind: EvDelay})
+	}
+	if dupEnd != inactive {
+		emit(Event{Step: p.Steps, Kind: EvDup, Rate: 0})
+	}
+	if reorderEnd != inactive {
+		emit(Event{Step: p.Steps, Kind: EvReorder, Rate: 0})
+	}
+	return s
+}
+
+// Encode serialises the scenario deterministically. The encoding covers the
+// seed, every profile parameter the runner and workload consume, and the
+// full event timeline, so equal encodings mean byte-identical runs at the
+// scenario level.
+func (s Scenario) Encode() []byte {
+	b := []byte("isis-chaos-scenario-v1\n")
+	u64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(v string) {
+		u64(uint64(len(v)))
+		b = append(b, v...)
+	}
+	i64(s.Seed)
+	p := s.Profile
+	str(p.Name)
+	i64(int64(p.Nodes))
+	i64(int64(p.Steps))
+	i64(int64(p.StepInterval))
+	i64(int64(p.CastsPerStep))
+	u64(uint64(len(p.Orderings)))
+	for _, o := range p.Orderings {
+		u64(uint64(o))
+	}
+	i64(int64(p.MaxCrashes))
+	u64(math.Float64bits(p.CrashProb))
+	u64(math.Float64bits(p.RestartProb))
+	u64(math.Float64bits(p.PartitionProb))
+	i64(int64(p.PartitionSteps))
+	u64(math.Float64bits(p.LossProb))
+	u64(math.Float64bits(p.MaxLossRate))
+	u64(math.Float64bits(p.DelayProb))
+	i64(int64(p.MaxDelay))
+	u64(math.Float64bits(p.DupProb))
+	u64(math.Float64bits(p.MaxDupRate))
+	u64(math.Float64bits(p.ReorderProb))
+	u64(math.Float64bits(p.MaxReorderRate))
+	i64(int64(p.ReorderDelay))
+	i64(int64(p.BurstSteps))
+	u64(math.Float64bits(p.LossyFraction))
+	i64(int64(p.SettleTimeout))
+	if s.Lossy {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	u64(uint64(len(s.Events)))
+	for _, e := range s.Events {
+		i64(int64(e.Step))
+		b = append(b, byte(e.Kind))
+		i64(int64(e.Node))
+		i64(int64(e.Side))
+		u64(math.Float64bits(e.Rate))
+		i64(int64(e.Base))
+		i64(int64(e.Jit))
+	}
+	return b
+}
+
+// Hash is the scenario's replay digest: the SHA-256 of Encode, in hex. A
+// failing test and cmd/isis-chaos both print it; matching hashes prove the
+// two commands ran the same scenario.
+func (s Scenario) Hash() string {
+	sum := sha256.Sum256(s.Encode())
+	return hex.EncodeToString(sum[:])
+}
+
+// Summary renders a short human description of the scenario: seed, mode and
+// the count of each event kind.
+func (s Scenario) Summary() string {
+	counts := map[EventKind]int{}
+	for _, e := range s.Events {
+		counts[e.Kind]++
+	}
+	kinds := make([]EventKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, counts[k]))
+	}
+	mode := "strict"
+	if s.Lossy {
+		mode = "lossy"
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no faults")
+	}
+	return fmt.Sprintf("seed %d (%s, %s): %s", s.Seed, s.Profile.Name, mode, strings.Join(parts, " "))
+}

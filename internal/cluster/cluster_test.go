@@ -1,0 +1,166 @@
+package cluster_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	isis "repro"
+	"repro/internal/cluster"
+	"repro/internal/group"
+	"repro/internal/types"
+)
+
+// TestClusterBootsThreeNodes: the harness spins up N wired processes on one
+// fabric, with indexed access and pids in creation order.
+func TestClusterBootsThreeNodes(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	if len(c.Procs) != 3 {
+		t.Fatalf("procs = %d, want 3", len(c.Procs))
+	}
+	pids := c.PIDs()
+	for i, p := range c.Procs {
+		if p.Node == nil || p.Detector == nil || p.Stack == nil || p.Host == nil {
+			t.Fatalf("proc %d missing a layer", i)
+		}
+		if p.ID != pids[i] || c.Proc(i) != p {
+			t.Errorf("indexed access disagrees at %d", i)
+		}
+		if types.SiteID(i+1) != p.ID.Site {
+			t.Errorf("proc %d site = %v, want %d (creation order)", i, p.ID.Site, i+1)
+		}
+	}
+	if c.Fabric == nil || c.Net == nil {
+		t.Fatal("fabric/net not exposed")
+	}
+	if got := len(c.Fabric.Processes()); got != 3 {
+		t.Errorf("fabric sees %d attached processes, want 3", got)
+	}
+}
+
+// TestClusterGroupFlowAndCrash: a group across the cluster delivers, and
+// Crash+InjectFailure shrinks the survivors' views without detector
+// timeouts.
+func TestClusterGroupFlowAndCrash(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+
+	var delivered atomic.Int32
+	cfg := group.Config{OnDeliver: func(group.Delivery) { delivered.Add(1) }}
+	gid := types.FlatGroup("cluster-g")
+	groups := make([]*group.Group, 3)
+	var err error
+	groups[0], err = c.Proc(0).Stack.Create(gid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 1; i < 3; i++ {
+		groups[i], err = c.Proc(i).Stack.Join(ctx, gid, c.Proc(0).ID, cfg)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if !cluster.WaitForViewSize(5*time.Second, 3, groups...) {
+		t.Fatal("group never converged")
+	}
+	if err := groups[1].Cast(ctx, types.Total, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(5*time.Second, func() bool { return delivered.Load() == 3 }) {
+		t.Fatalf("delivered %d of 3", delivered.Load())
+	}
+
+	c.Crash(2)
+	c.InjectFailure(2)
+	if !cluster.WaitForViewSize(5*time.Second, 2, groups[0], groups[1]) {
+		t.Fatal("survivors never removed the crashed member")
+	}
+	if !c.Fabric.Crashed(c.Proc(2).ID) {
+		t.Error("fabric does not report the crash")
+	}
+}
+
+// TestClusterAndFacadeWiringParity boots the same 3-node topology through
+// the internal cluster harness and through the public facade and asserts
+// the wiring is interchangeable: identical pid assignment, the same
+// transport substrate, and the same group flow end to end. Both paths run
+// boot.Spawn underneath; this pins that neither drifts.
+func TestClusterAndFacadeWiringParity(t *testing.T) {
+	const n = 3
+	gname := "parity"
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Cluster path.
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+	var clusterDelivered atomic.Int32
+	ccfg := group.Config{OnDeliver: func(group.Delivery) { clusterDelivered.Add(1) }}
+	cg, err := c.Proc(0).Stack.Create(types.FlatGroup(gname), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgroups := []*group.Group{cg}
+	for i := 1; i < n; i++ {
+		g, err := c.Proc(i).Stack.Join(ctx, types.FlatGroup(gname), c.Proc(0).ID, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cgroups = append(cgroups, g)
+	}
+
+	// Facade path.
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	var facadeDelivered atomic.Int32
+	fcfg := isis.GroupConfig{OnDeliver: func(isis.Delivery) { facadeDelivered.Add(1) }}
+	procs := make([]*isis.Process, n)
+	for i := range procs {
+		procs[i] = rt.MustSpawn()
+	}
+	fg, err := procs[0].CreateGroup(gname, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgroups := []*isis.Group{fg}
+	for i := 1; i < n; i++ {
+		g, err := procs[i].JoinGroup(ctx, gname, procs[0].ID(), fcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fgroups = append(fgroups, g)
+	}
+
+	// Parity: pid assignment and transport.
+	for i := 0; i < n; i++ {
+		if c.Proc(i).ID != procs[i].ID() {
+			t.Errorf("pid %d: cluster %v vs facade %v", i, c.Proc(i).ID, procs[i].ID())
+		}
+	}
+	if rt.Transport() != "memory" {
+		t.Errorf("facade transport = %q, want memory", rt.Transport())
+	}
+
+	// Parity: the same cast through both paths delivers everywhere.
+	if err := cgroups[0].Cast(ctx, types.Causal, []byte("via-cluster")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fgroups[0].Cast(ctx, isis.CBCAST, []byte("via-facade")); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(5*time.Second, func() bool {
+		return clusterDelivered.Load() == n && facadeDelivered.Load() == n
+	}) {
+		t.Fatalf("cluster delivered %d, facade delivered %d, want %d each",
+			clusterDelivered.Load(), facadeDelivered.Load(), n)
+	}
+
+	// Parity: both substrates account messages on their own fabric.
+	if c.Fabric.Stats().MessagesSent == 0 || rt.Stats().MessagesSent == 0 {
+		t.Error("one path sent no fabric messages")
+	}
+}

@@ -170,7 +170,10 @@ func TestClientRequestRoutedToSingleLeaf(t *testing.T) {
 	}
 
 	// Steady state: messages for one request must involve only the client
-	// and one leaf subgroup, not the whole service.
+	// and one leaf subgroup, not the whole service. Let the warm request's
+	// cohort replication drain first, so a loaded machine cannot leak its
+	// tail into the measured window.
+	time.Sleep(50 * time.Millisecond)
 	c.Fabric.ResetStats()
 	if _, err := client.Request(ctxT(t), []byte("quote DEC")); err != nil {
 		t.Fatal(err)

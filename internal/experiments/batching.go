@@ -29,9 +29,13 @@ func E9BatchingThroughput(s Scale) (*metrics.Table, error) {
 	// where the hot path actually lives.
 	sizes := []int{8, 16}
 	casts := 5000
-	if s == Full {
+	switch s {
+	case Full:
 		sizes = []int{8, 16, 32}
 		casts = 20000
+	case Smoke:
+		sizes = []int{8}
+		casts = 1000
 	}
 	t := metrics.NewTable("E9: broadcast hot-path throughput, batched vs unbatched",
 		"members", "casts", "mode", "elapsed", "delivered msgs/sec", "frames", "msgs/frame", "speedup")

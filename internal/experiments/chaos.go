@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/metrics"
+)
+
+// E10ChaosSurvival drives the chaos harness as an experiment: a batch of
+// seeded fault scenarios (crashes, restarts, partitions, loss, delay,
+// duplication, reordering) runs against the simulated cluster while
+// workloads multicast in all three orderings, and the table reports the
+// survival numbers — how much of the workload still got delivered, at what
+// rate, under which faults — next to the invariant-checker verdict. Any
+// invariant violation fails the experiment, so the bench job doubles as a
+// chaos regression gate.
+func E10ChaosSurvival(s Scale) (*metrics.Table, error) {
+	profile := chaos.SmokeProfile()
+	seeds := 6
+	switch s {
+	case Full:
+		profile = chaos.DefaultProfile()
+		seeds = 20
+	case Quick:
+		profile = chaos.DefaultProfile()
+		seeds = 8
+	}
+	t := metrics.NewTable(fmt.Sprintf("E10: chaos survival over %d seeded scenarios (profile %s)", seeds, profile.Name),
+		"seed", "mode", "faults", "casts", "deliveries", "deliv/cast", "deliv/sec", "dropped", "violations")
+
+	var violations int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		sc := chaos.Generate(seed, profile)
+		res, err := chaos.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("E10 seed %d: %w", seed, err)
+		}
+		mode := "strict"
+		if sc.Lossy {
+			mode = "lossy"
+		}
+		perCast := 0.0
+		if res.CastsIssued > 0 {
+			perCast = float64(res.Deliveries) / float64(res.CastsIssued)
+		}
+		rate := float64(res.Deliveries) / res.Elapsed.Seconds()
+		t.AddRow(seed, mode, len(sc.Events), res.CastsIssued, res.Deliveries,
+			perCast, rate, res.Stats.MessagesDropped, len(res.Violations))
+		violations += len(res.Violations)
+	}
+	if violations > 0 {
+		return t, fmt.Errorf("E10: %d invariant violations across %d seeds", violations, seeds)
+	}
+	return t, nil
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the benchmark harness that regenerates
-// every experiment in EXPERIMENTS.md (E1–E9 plus the ablations A1–A3). The
+// every experiment in EXPERIMENTS.md (E1–E10 plus the ablations A1–A3). The
 // same code backs cmd/isis-bench and the testing.B benchmarks in
 // bench_test.go, so the printed tables and the benchmark metrics always come
 // from one implementation.
@@ -7,7 +7,8 @@
 // Because the source paper is a position paper with no measured figures,
 // each experiment reifies one of its quantitative claims (E9, the batching
 // throughput experiment, instead reifies the ROADMAP's measurably-faster
-// hot-path goal); see DESIGN.md §7 for the claim-to-experiment mapping.
+// hot-path goal, and E10 drives the chaos harness's fault scenarios); see
+// DESIGN.md §8 for the claim-to-experiment mapping.
 package experiments
 
 import (
@@ -29,19 +30,25 @@ import (
 // Scale selects how far the parameter sweeps go. Quick keeps every
 // experiment under a few seconds (used by `go test -bench`); Full runs the
 // paper-scale sweeps (100–500 workstations) and is what EXPERIMENTS.md
-// records.
+// records; Smoke runs one small size per sweep so experiment drift fails
+// ordinary `go test` runs instead of only the bench job.
 type Scale int
 
 const (
 	Quick Scale = iota
 	Full
+	Smoke
 )
 
 func (s Scale) sizes() []int {
-	if s == Full {
+	switch s {
+	case Full:
 		return []int{5, 10, 25, 50, 100, 250, 500}
+	case Smoke:
+		return []int{5}
+	default:
+		return []int{5, 10, 25, 50}
 	}
-	return []int{5, 10, 25, 50}
 }
 
 func (s Scale) hierFanout() int     { return 8 }

@@ -26,7 +26,8 @@ type Delivery struct {
 	From     types.ProcessID
 	ID       types.MsgID
 	Ordering types.Ordering
-	Seq      uint64 // agreed sequence number for ABCAST deliveries
+	Seq      uint64   // agreed sequence number for ABCAST deliveries
+	VT       []uint64 // sender vector timestamp for CBCAST deliveries (a copy)
 	Payload  []byte
 }
 

@@ -64,9 +64,13 @@ type Group struct {
 	closedSnap bool
 }
 
+// ackWaiter tracks one cast's resiliency acknowledgements. Ackers are
+// counted by process id, not by message, because the network may duplicate
+// acks (the chaos harness injects exactly that): the quorum must mean "need
+// distinct members hold the cast", never "need ack frames arrived".
 type ackWaiter struct {
 	need int
-	got  int
+	from map[types.ProcessID]bool
 	done chan error
 }
 
@@ -166,6 +170,9 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 	}
 	if g.cfg.OnView != nil {
 		g.cfg.OnView(v.Clone())
+	}
+	if obs := g.stack.obs.OnView; obs != nil {
+		obs(g.id, v.Clone())
 	}
 	g.emitView(v)
 
@@ -408,6 +415,13 @@ func (g *Group) onViewPropose(m *types.Message) {
 	if g.closed {
 		return
 	}
+	if g.joined && m.View <= g.view.ID {
+		// A propose for a view we already installed (a delayed or duplicated
+		// copy arriving after the install). Re-wedging here would freeze the
+		// group forever: the flush it belongs to has already completed and no
+		// further install will release us.
+		return
+	}
 	viewStr, _, ok := types.DecodeString(m.Payload)
 	if !ok {
 		return
@@ -583,7 +597,7 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 		need = max
 	}
 	if need > 0 && done != nil {
-		g.acks[corr] = &ackWaiter{need: need, done: done}
+		g.acks[corr] = &ackWaiter{need: need, from: make(map[types.ProcessID]bool, need), done: done}
 	}
 
 	g.stack.node.SendCopies(g.view.Members, msg)
@@ -620,8 +634,10 @@ func (g *Group) onCast(m *types.Message) {
 			Corr:  m.Corr,
 		})
 	}
-	// The sequencer assigns the total order for casts that need one.
-	if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil {
+	// The sequencer assigns the total order for casts that need one. The
+	// Ordered check keeps a network-duplicated cast from being sequenced a
+	// second time (which would deliver it twice everywhere).
+	if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil && !g.total.Ordered(m.ID) {
 		seq := g.seqr.Assign()
 		orderMsg := &types.Message{
 			Kind:  types.KindOrder,
@@ -713,8 +729,9 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 			})
 			_ = g.stack.node.Send(m.From, &ackBlock[len(ackBlock)-1])
 		}
-		// The sequencer assigns the total order for casts that need one.
-		if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil {
+		// The sequencer assigns the total order for casts that need one,
+		// skipping network-duplicated casts it has already sequenced.
+		if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil && !g.total.Ordered(m.ID) {
 			seq := g.seqr.Assign()
 			orderMsg := &types.Message{
 				Kind:  types.KindOrder,
@@ -762,8 +779,11 @@ func (g *Group) onCastAck(m *types.Message) {
 	if !ok {
 		return
 	}
-	w.got++
-	if w.got >= w.need {
+	if w.from[m.From] {
+		return // a duplicated ack must not inflate the quorum
+	}
+	w.from[m.From] = true
+	if len(w.from) >= w.need {
 		delete(g.acks, m.Corr)
 		select {
 		case w.done <- nil:
@@ -783,7 +803,8 @@ func (g *Group) onOrder(m *types.Message) {
 }
 
 func (g *Group) deliver(m *types.Message) {
-	if g.cfg.OnDeliver == nil && len(g.delSubs) == 0 {
+	obs := g.stack.obs.OnDeliver
+	if g.cfg.OnDeliver == nil && obs == nil && len(g.delSubs) == 0 {
 		return
 	}
 	d := Delivery{
@@ -795,8 +816,21 @@ func (g *Group) deliver(m *types.Message) {
 		Seq:      m.Seq,
 		Payload:  m.Payload,
 	}
+	if len(m.VT) > 0 {
+		d.VT = append([]uint64(nil), m.VT...)
+	}
 	if g.cfg.OnDeliver != nil {
 		g.cfg.OnDeliver(d)
+	}
+	if obs != nil {
+		// The observer's copy is private (it may be retained by history
+		// recorders), so it must not share the VT backing array with the
+		// application callback and the subscription channels.
+		od := d
+		if len(d.VT) > 0 {
+			od.VT = append([]uint64(nil), d.VT...)
+		}
+		obs(g.id, od)
 	}
 	g.emitDelivery(d)
 }

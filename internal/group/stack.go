@@ -18,8 +18,21 @@ type Stack struct {
 	node *node.Node
 	det  *fdetect.Detector
 
-	// groups is only touched on the actor goroutine.
+	// groups and obs are only touched on the actor goroutine.
 	groups map[string]*Group
+	obs    Observer
+}
+
+// Observer taps every group event on one process: each installed view and
+// each delivered multicast, across all groups of the stack, tagged with the
+// group id. It exists so history recorders (the chaos harness's invariant
+// checkers, tracing tools) can observe a process without owning the
+// per-group Config callbacks the application uses. Callbacks run on the
+// node's actor goroutine and must not block; the View and the Delivery's VT
+// are private copies the observer may retain.
+type Observer struct {
+	OnView    func(types.GroupID, member.View)
+	OnDeliver func(types.GroupID, Delivery)
 }
 
 // NewStack creates the group stack for a node and registers its message
@@ -43,6 +56,13 @@ func NewStack(n *node.Node, det *fdetect.Detector) *Stack {
 
 // Node returns the node this stack is bound to.
 func (s *Stack) Node() *node.Node { return s.node }
+
+// SetObserver installs (or, with the zero Observer, removes) the stack's
+// event observer. Install it before creating or joining groups whose events
+// must not be missed; events are delivered from the install point on.
+func (s *Stack) SetObserver(o Observer) {
+	_ = s.node.Call(func() { s.obs = o })
+}
 
 // Detector returns the stack's failure detector (may be nil).
 func (s *Stack) Detector() *fdetect.Detector { return s.det }

@@ -38,6 +38,21 @@ type Config struct {
 	// LossRate is the probability in [0,1) that a message is silently
 	// dropped. The in-memory transport is reliable when LossRate is zero.
 	LossRate float64
+	// DupRate is the probability in [0,1) that a multicast data-path
+	// message (cast, cast ack, order announcement) is delivered twice,
+	// modelling a network-level duplicate. Protocol messages are never
+	// duplicated: the membership and RPC layers assume at-most-once links,
+	// while the ordering engines are required to tolerate duplicates — the
+	// chaos harness injects them to prove it.
+	DupRate float64
+	// ReorderRate is the probability in [0,1) that a multicast data-path
+	// message is pulled out of its frame and delivered late (after up to
+	// ReorderDelay), breaking per-pair FIFO arrival for the data path the
+	// way a multi-path network would.
+	ReorderRate float64
+	// ReorderDelay caps the extra delay applied to reordered messages.
+	// Zero selects 1ms.
+	ReorderDelay time.Duration
 	// Seed seeds the fabric's private random source so experiments are
 	// reproducible. Zero selects a fixed default seed.
 	Seed int64
@@ -67,6 +82,99 @@ type Packet struct {
 	Size int
 }
 
+// FaultKind enumerates the fault-injection primitives the fabric supports.
+type FaultKind uint8
+
+const (
+	// FaultCrash marks a process as crashed (queue discarded, sends to it
+	// dropped) until it is attached again.
+	FaultCrash FaultKind = 1 + iota
+	// FaultPartition assigns a process to a partition; processes in
+	// different partitions cannot exchange messages.
+	FaultPartition
+	// FaultHeal returns every process to partition 0.
+	FaultHeal
+	// FaultLoss sets the random message-loss rate (Rate; zero ends a burst).
+	FaultLoss
+	// FaultDelay sets the latency model (Base, Jitter; zeros end a burst).
+	FaultDelay
+	// FaultDuplicate sets the data-path duplication rate (Rate).
+	FaultDuplicate
+	// FaultReorder sets the data-path reordering rate (Rate) and the extra
+	// delay cap for reordered messages (Base).
+	FaultReorder
+)
+
+// String returns the symbolic fault name for logs and reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	case FaultLoss:
+		return "loss"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one fault-injection action. The chaos harness compiles a
+// scenario into a plan of FaultEvents; Inject applies one to the fabric and
+// records it in the fault log carried by Stats, stamping At with the offset
+// from fabric creation so a run's fault history can be read back next to its
+// message counters.
+type FaultEvent struct {
+	// Step is the scenario timeline position that scheduled the event (an
+	// annotation for logs; the fabric does not interpret it).
+	Step int
+	// Kind selects the fault primitive.
+	Kind FaultKind
+	// Proc is the target process for FaultCrash and FaultPartition.
+	Proc types.ProcessID
+	// Partition is the partition id for FaultPartition.
+	Partition int
+	// Rate parameterises FaultLoss, FaultDuplicate and FaultReorder.
+	Rate float64
+	// Base and Jitter parameterise FaultDelay; Base also carries the extra
+	// delay cap for FaultReorder.
+	Base   time.Duration
+	Jitter time.Duration
+	// At is stamped by the fabric when the event is applied: the offset
+	// from fabric creation.
+	At time.Duration
+}
+
+// String renders the event for logs.
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultCrash:
+		return fmt.Sprintf("step %d: crash %v", e.Step, e.Proc)
+	case FaultPartition:
+		return fmt.Sprintf("step %d: partition %v -> side %d", e.Step, e.Proc, e.Partition)
+	case FaultHeal:
+		return fmt.Sprintf("step %d: heal partitions", e.Step)
+	case FaultLoss:
+		return fmt.Sprintf("step %d: loss rate %.3f", e.Step, e.Rate)
+	case FaultDelay:
+		return fmt.Sprintf("step %d: delay base=%v jitter=%v", e.Step, e.Base, e.Jitter)
+	case FaultDuplicate:
+		return fmt.Sprintf("step %d: duplication rate %.3f", e.Step, e.Rate)
+	case FaultReorder:
+		return fmt.Sprintf("step %d: reorder rate %.3f delay=%v", e.Step, e.Rate, e.Base)
+	default:
+		return fmt.Sprintf("step %d: %s", e.Step, e.Kind)
+	}
+}
+
 // Stats is a snapshot of the fabric's counters.
 type Stats struct {
 	// MessagesSent counts every send attempt, including dropped ones.
@@ -80,6 +188,14 @@ type Stats struct {
 	// SendBatch regardless of batch size. MessagesSent/FramesSent is the
 	// batching amortization factor the E9 experiment reports.
 	FramesSent uint64
+	// MessagesDuplicated counts data-path messages the fabric delivered a
+	// second time because of duplication injection. Duplicates are not
+	// charged to MessagesSent or BytesSent (the sender paid once) but do
+	// count as deliveries when they reach a queue.
+	MessagesDuplicated uint64
+	// MessagesReordered counts data-path messages pulled out of their frame
+	// and delivered late because of reordering injection.
+	MessagesReordered uint64
 	// BytesSent is the total wire size of all send attempts.
 	BytesSent uint64
 	// PerKind breaks MessagesSent down by protocol message kind.
@@ -88,18 +204,25 @@ type Stats struct {
 	PerSender map[types.ProcessID]uint64
 	// PerReceiver counts deliveries per destination process.
 	PerReceiver map[types.ProcessID]uint64
+	// Faults is the fault-event log: every fault injected since the last
+	// ResetStats, in application order, with At stamped relative to fabric
+	// creation. Chaos reports print it next to the counters so a failing
+	// seed's fault history is visible without re-running the scenario.
+	Faults []FaultEvent
 }
 
 // Fabric is the simulated network. It is safe for concurrent use.
 type Fabric struct {
-	cfg Config
+	start time.Time
 
 	mu         sync.Mutex
+	cfg        Config // LossRate/DupRate/ReorderRate/latency are runtime-mutable
 	rng        *rand.Rand
 	procs      map[types.ProcessID]*port
 	partitions map[types.ProcessID]int // partition id per process; default 0
 	crashed    map[types.ProcessID]bool
-	dropRules  []DropRule
+	dropRules  []dropEntry
+	dropSeq    uint64
 	fanout     map[types.ProcessID]map[types.ProcessID]struct{}
 
 	stats   Stats
@@ -109,6 +232,14 @@ type Fabric struct {
 // DropRule selectively drops matching packets; used for fault injection in
 // tests (for example "drop all view-install messages to p3").
 type DropRule func(Packet) bool
+
+// dropEntry pairs an installed rule with the identity its remove function
+// holds onto. Removal compacts the slice, so rules are matched by id rather
+// than by index — indexes shift as other rules are removed.
+type dropEntry struct {
+	id   uint64
+	rule DropRule
+}
 
 // port is the receive side of one attached process. The queue carries
 // frames: the batched unit of transmission (a plain Send is a frame of one).
@@ -126,6 +257,7 @@ func New(cfg Config) *Fabric {
 		seed = 0x15150451
 	}
 	return &Fabric{
+		start:      time.Now(),
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(seed)),
 		procs:      make(map[types.ProcessID]*port),
@@ -140,8 +272,13 @@ func New(cfg Config) *Fabric {
 	}
 }
 
-// Config returns the fabric's configuration.
-func (f *Fabric) Config() Config { return f.cfg }
+// Config returns the fabric's configuration (a snapshot: the fault knobs —
+// loss, duplication, reordering, latency — are runtime-mutable via Inject).
+func (f *Fabric) Config() Config {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
 
 // Attach registers a process and returns its inbound frame channel. It is
 // an error to attach the same process twice.
@@ -171,10 +308,7 @@ func (f *Fabric) Detach(p types.ProcessID) {
 // The process stays crashed until Attach is called again for a new
 // incarnation.
 func (f *Fabric) Crash(p types.ProcessID) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.crashed[p] = true
-	delete(f.procs, p)
+	f.Inject(FaultEvent{Kind: FaultCrash, Proc: p})
 }
 
 // Crashed reports whether p has been crashed.
@@ -187,30 +321,85 @@ func (f *Fabric) Crashed(p types.ProcessID) bool {
 // SetPartition assigns a process to a partition. Processes in different
 // partitions cannot exchange messages. All processes start in partition 0.
 func (f *Fabric) SetPartition(p types.ProcessID, partition int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.partitions[p] = partition
+	f.Inject(FaultEvent{Kind: FaultPartition, Proc: p, Partition: partition})
 }
 
 // HealPartitions returns every process to partition 0.
 func (f *Fabric) HealPartitions() {
+	f.Inject(FaultEvent{Kind: FaultHeal})
+}
+
+// SetLossRate changes the random message-loss probability at runtime (chaos
+// loss bursts). Zero restores reliable delivery.
+func (f *Fabric) SetLossRate(rate float64) {
+	f.Inject(FaultEvent{Kind: FaultLoss, Rate: rate})
+}
+
+// SetLatency changes the latency model at runtime (chaos delay bursts).
+// Zeros restore instantaneous delivery.
+func (f *Fabric) SetLatency(base, jitter time.Duration) {
+	f.Inject(FaultEvent{Kind: FaultDelay, Base: base, Jitter: jitter})
+}
+
+// SetDuplication changes the data-path duplication probability at runtime.
+func (f *Fabric) SetDuplication(rate float64) {
+	f.Inject(FaultEvent{Kind: FaultDuplicate, Rate: rate})
+}
+
+// SetReordering changes the data-path reordering probability and the extra
+// delay cap applied to reordered messages at runtime.
+func (f *Fabric) SetReordering(rate float64, delay time.Duration) {
+	f.Inject(FaultEvent{Kind: FaultReorder, Rate: rate, Base: delay})
+}
+
+// Inject applies one fault event to the fabric and appends it to the fault
+// log in Stats. All fault-injection entry points (Crash, SetPartition, the
+// Set* mutators and the chaos harness's compiled plans) funnel through here,
+// so the log is a complete record of the faults a run experienced.
+func (f *Fabric) Inject(ev FaultEvent) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.partitions = make(map[types.ProcessID]int)
+	switch ev.Kind {
+	case FaultCrash:
+		f.crashed[ev.Proc] = true
+		delete(f.procs, ev.Proc)
+	case FaultPartition:
+		f.partitions[ev.Proc] = ev.Partition
+	case FaultHeal:
+		f.partitions = make(map[types.ProcessID]int)
+	case FaultLoss:
+		f.cfg.LossRate = ev.Rate
+	case FaultDelay:
+		f.cfg.BaseLatency, f.cfg.Jitter = ev.Base, ev.Jitter
+	case FaultDuplicate:
+		f.cfg.DupRate = ev.Rate
+	case FaultReorder:
+		f.cfg.ReorderRate, f.cfg.ReorderDelay = ev.Rate, ev.Base
+	default:
+		return // unknown kinds are not applied and not logged
+	}
+	ev.At = time.Since(f.start)
+	f.stats.Faults = append(f.stats.Faults, ev)
 }
 
 // AddDropRule installs a fault-injection rule and returns a function that
-// removes it.
+// removes it. Removal is safe while packets are in flight and while other
+// rules are being removed in any order: rules are identified by id, not by
+// slice index, and the remove function is idempotent.
 func (f *Fabric) AddDropRule(rule DropRule) (remove func()) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	idx := len(f.dropRules)
-	f.dropRules = append(f.dropRules, rule)
+	f.dropSeq++
+	id := f.dropSeq
+	f.dropRules = append(f.dropRules, dropEntry{id: id, rule: rule})
 	return func() {
 		f.mu.Lock()
 		defer f.mu.Unlock()
-		if idx < len(f.dropRules) {
-			f.dropRules[idx] = nil
+		for i, e := range f.dropRules {
+			if e.id == id {
+				f.dropRules = append(f.dropRules[:i], f.dropRules[i+1:]...)
+				return
+			}
 		}
 	}
 }
@@ -309,8 +498,8 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 			for i, m := range msgs {
 				lost := f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate
 				if !lost && pkts != nil {
-					for _, rule := range f.dropRules {
-						if rule != nil && rule(pkts[i]) {
+					for _, e := range f.dropRules {
+						if e.rule(pkts[i]) {
 							lost = true
 							break
 						}
@@ -326,8 +515,43 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 	} else {
 		f.stats.MessagesDropped += uint64(len(msgs))
 	}
+	// Duplication and reordering apply per message, to the multicast data
+	// path only (casts, cast acks, order announcements): the ordering
+	// engines must tolerate both, while the membership and RPC protocols
+	// assume per-pair FIFO at-most-once links. A duplicated message is
+	// delivered a second time in its own frame; a reordered message is
+	// pulled out of the frame and delivered late.
+	var dups []*types.Message
+	var delayed []*types.Message
+	var delayedBy []time.Duration
+	if dropErr == nil && len(kept) > 0 && (f.cfg.DupRate > 0 || f.cfg.ReorderRate > 0) {
+		filtered := make([]*types.Message, 0, len(kept))
+		for _, m := range kept {
+			if !dataPathKind(m.Kind) {
+				filtered = append(filtered, m)
+				continue
+			}
+			if f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate {
+				f.stats.MessagesDuplicated++
+				dups = append(dups, m)
+			}
+			if f.cfg.ReorderRate > 0 && f.rng.Float64() < f.cfg.ReorderRate {
+				f.stats.MessagesReordered++
+				maxDelay := f.cfg.ReorderDelay
+				if maxDelay <= 0 {
+					maxDelay = time.Millisecond
+				}
+				extra := maxDelay/2 + time.Duration(f.rng.Int63n(int64(maxDelay/2+1)))
+				delayed = append(delayed, m)
+				delayedBy = append(delayedBy, extra)
+				continue
+			}
+			filtered = append(filtered, m)
+		}
+		kept = filtered
+	}
 	var delay time.Duration
-	if len(kept) > 0 {
+	if len(kept) > 0 || len(dups) > 0 || len(delayed) > 0 {
 		delay = f.cfg.BaseLatency
 		if f.cfg.Jitter > 0 {
 			delay += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
@@ -343,14 +567,38 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 	if dropErr != nil {
 		return dropErr
 	}
-	if len(kept) == 0 {
-		return nil // silent loss: sender gets no error, like UDP on Ethernet
-	}
 
-	// Clone at send time so the receiver can never observe sender-side
-	// mutation, and so the caller's batch slice is free for reuse the moment
-	// SendBatch returns.
-	frame := types.CloneFrame(kept)
+	if len(kept) > 0 {
+		f.transmit(dst, to, kept, delay)
+	}
+	for _, m := range dups {
+		f.transmit(dst, to, []*types.Message{m}, delay)
+	}
+	for i, m := range delayed {
+		f.transmit(dst, to, []*types.Message{m}, delay+delayedBy[i])
+	}
+	// Silent loss of the whole frame: the sender gets no error, like UDP on
+	// Ethernet.
+	return nil
+}
+
+// dataPathKind reports whether a message kind belongs to the multicast data
+// path, the only traffic duplication and reordering injection applies to.
+// It mirrors the node outbox's batchable set.
+func dataPathKind(k types.Kind) bool {
+	switch k {
+	case types.KindCast, types.KindCastAck, types.KindOrder:
+		return true
+	}
+	return false
+}
+
+// transmit clones one frame and delivers it into dst's queue after delay.
+// Cloning at send time means the receiver can never observe sender-side
+// mutation, and the caller's batch slice is free for reuse the moment
+// SendBatch returns.
+func (f *Fabric) transmit(dst *port, to types.ProcessID, msgs []*types.Message, delay time.Duration) {
+	frame := types.CloneFrame(msgs)
 	deliver := func() {
 		select {
 		case dst.queue <- frame:
@@ -366,10 +614,9 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 	}
 	if delay <= 0 {
 		deliver()
-		return nil
+		return
 	}
 	time.AfterFunc(delay, deliver)
-	return nil
 }
 
 // Stats returns a copy of the fabric's counters.
@@ -377,14 +624,17 @@ func (f *Fabric) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := Stats{
-		MessagesSent:      f.stats.MessagesSent,
-		MessagesDelivered: f.stats.MessagesDelivered,
-		MessagesDropped:   f.stats.MessagesDropped,
-		FramesSent:        f.stats.FramesSent,
-		BytesSent:         f.stats.BytesSent,
-		PerKind:           make(map[types.Kind]uint64, len(f.stats.PerKind)),
-		PerSender:         make(map[types.ProcessID]uint64, len(f.stats.PerSender)),
-		PerReceiver:       make(map[types.ProcessID]uint64, len(f.stats.PerReceiver)),
+		MessagesSent:       f.stats.MessagesSent,
+		MessagesDelivered:  f.stats.MessagesDelivered,
+		MessagesDropped:    f.stats.MessagesDropped,
+		FramesSent:         f.stats.FramesSent,
+		MessagesDuplicated: f.stats.MessagesDuplicated,
+		MessagesReordered:  f.stats.MessagesReordered,
+		BytesSent:          f.stats.BytesSent,
+		PerKind:            make(map[types.Kind]uint64, len(f.stats.PerKind)),
+		PerSender:          make(map[types.ProcessID]uint64, len(f.stats.PerSender)),
+		PerReceiver:        make(map[types.ProcessID]uint64, len(f.stats.PerReceiver)),
+		Faults:             append([]FaultEvent(nil), f.stats.Faults...),
 	}
 	for k, v := range f.stats.PerKind {
 		out.PerKind[k] = v
@@ -398,8 +648,9 @@ func (f *Fabric) Stats() Stats {
 	return out
 }
 
-// ResetStats zeroes all counters. Experiments call it between phases so the
-// reported numbers cover only the measured interval.
+// ResetStats zeroes all counters and clears the fault-event log. Experiments
+// call it between phases so the reported numbers cover only the measured
+// interval.
 func (f *Fabric) ResetStats() {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -326,6 +326,183 @@ func TestSendBatchDropRuleFiltersWithinFrame(t *testing.T) {
 	}
 }
 
+// TestDropRuleOutOfOrderRemoval is the regression test for the remove-func
+// index-invalidation bug: removing rules in a different order than they were
+// added must remove exactly the right rules, removing twice must be a no-op,
+// and rules added after removals must still work.
+func TestDropRuleOutOfOrderRemoval(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	removeCast := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindCast })
+	removeAck := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindCastAck })
+	removeOrder := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindOrder })
+
+	// Remove the middle rule first, then the first: the last rule's identity
+	// must survive both compactions.
+	removeAck()
+	removeCast()
+	removeAck() // double-remove is a no-op
+
+	_ = f.Send(msg(a, b, types.KindCast))    // rule removed: delivered
+	_ = f.Send(msg(a, b, types.KindCastAck)) // rule removed: delivered
+	_ = f.Send(msg(a, b, types.KindOrder))   // rule still active: dropped
+	if got := recvOne(t, chB); got.Kind != types.KindCast {
+		t.Errorf("first delivery kind = %v, want cast", got.Kind)
+	}
+	if got := recvOne(t, chB); got.Kind != types.KindCastAck {
+		t.Errorf("second delivery kind = %v, want cast-ack", got.Kind)
+	}
+	if st := f.Stats(); st.MessagesDropped != 1 {
+		t.Errorf("MessagesDropped = %d, want 1 (only the order message)", st.MessagesDropped)
+	}
+
+	// A rule added after out-of-order removals must drop, and its own remove
+	// must target it precisely even though earlier slots were compacted away.
+	removeHB := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindHeartbeat })
+	_ = f.Send(msg(a, b, types.KindHeartbeat))
+	select {
+	case fr := <-chB:
+		t.Fatalf("heartbeat delivered despite active rule: %v", fr[0])
+	case <-time.After(20 * time.Millisecond):
+	}
+	removeHB()
+	removeOrder()
+	_ = f.Send(msg(a, b, types.KindHeartbeat))
+	_ = f.Send(msg(a, b, types.KindOrder))
+	recvOne(t, chB)
+	recvOne(t, chB)
+}
+
+// TestDropRuleRemovalWhilePacketsInFlight hammers AddDropRule/remove from
+// one goroutine while another sends; under -race this pins the locking, and
+// the assertions pin that removed rules stop matching immediately.
+func TestDropRuleRemovalWhilePacketsInFlight(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r1 := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindHeartbeat })
+			r2 := f.AddDropRule(func(p Packet) bool { return p.Msg.Kind == types.KindHeartbeatAck })
+			r2()
+			r1()
+		}
+	}()
+	sent := 0
+	for i := 0; i < 200; i++ {
+		_ = f.Send(msg(a, b, types.KindCast)) // never matches any rule
+		sent++
+	}
+	<-done
+	for i := 0; i < sent; i++ {
+		recvOne(t, chB)
+	}
+	if st := f.Stats(); st.MessagesDropped != 0 {
+		t.Errorf("MessagesDropped = %d, want 0 (cast traffic matches no rule)", st.MessagesDropped)
+	}
+}
+
+func TestDuplicationInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DupRate = 1.0
+	f := New(cfg)
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	if err := f.Send(msg(a, b, types.KindCast)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	first, second := recvOne(t, chB), recvOne(t, chB)
+	if first.Kind != types.KindCast || second.Kind != types.KindCast {
+		t.Errorf("duplicate delivery kinds = %v, %v", first.Kind, second.Kind)
+	}
+	st := f.Stats()
+	if st.MessagesSent != 1 || st.MessagesDuplicated != 1 || st.MessagesDelivered != 2 {
+		t.Errorf("stats = sent %d dup %d delivered %d, want 1/1/2",
+			st.MessagesSent, st.MessagesDuplicated, st.MessagesDelivered)
+	}
+
+	// Non-data-path kinds are never duplicated.
+	_ = f.Send(msg(a, b, types.KindViewInstall))
+	recvOne(t, chB)
+	select {
+	case fr := <-chB:
+		t.Errorf("protocol message duplicated: %v", fr[0])
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestReorderInjectionDeliversLate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReorderRate = 1.0
+	cfg.ReorderDelay = 5 * time.Millisecond
+	f := New(cfg)
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	// Every data message is reordered, so a two-message frame arrives as two
+	// late frames of one, and the non-data message arrives first.
+	first := msg(a, b, types.KindCast)
+	second := msg(a, b, types.KindCast)
+	if err := f.SendBatch([]*types.Message{first, second}); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	_ = f.Send(msg(a, b, types.KindViewInstall))
+	if got := recvOne(t, chB); got.Kind != types.KindViewInstall {
+		t.Errorf("first arrival = %v, want the view-install to overtake reordered casts", got.Kind)
+	}
+	recvOne(t, chB)
+	recvOne(t, chB)
+	if st := f.Stats(); st.MessagesReordered != 2 || st.MessagesDelivered != 3 {
+		t.Errorf("reordered = %d delivered = %d, want 2/3", st.MessagesReordered, st.MessagesDelivered)
+	}
+}
+
+func TestFaultLogRecordsInjections(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	_, _ = f.Attach(b)
+
+	f.SetLossRate(0.25)
+	f.SetPartition(b, 1)
+	f.HealPartitions()
+	f.SetLatency(time.Millisecond, 2*time.Millisecond)
+	f.SetDuplication(0.5)
+	f.SetReordering(0.1, 3*time.Millisecond)
+	f.Crash(b)
+
+	st := f.Stats()
+	wantKinds := []FaultKind{FaultLoss, FaultPartition, FaultHeal, FaultDelay, FaultDuplicate, FaultReorder, FaultCrash}
+	if len(st.Faults) != len(wantKinds) {
+		t.Fatalf("fault log has %d events, want %d: %v", len(st.Faults), len(wantKinds), st.Faults)
+	}
+	for i, k := range wantKinds {
+		if st.Faults[i].Kind != k {
+			t.Errorf("fault %d kind = %v, want %v", i, st.Faults[i].Kind, k)
+		}
+	}
+	if st.Faults[0].Rate != 0.25 || st.Faults[1].Proc != b || st.Faults[1].Partition != 1 {
+		t.Errorf("fault parameters not recorded: %v", st.Faults[:2])
+	}
+	if cfg := f.Config(); cfg.LossRate != 0.25 || cfg.DupRate != 0.5 || cfg.ReorderRate != 0.1 {
+		t.Errorf("runtime mutators did not update config: %+v", cfg)
+	}
+	f.ResetStats()
+	if st := f.Stats(); len(st.Faults) != 0 {
+		t.Errorf("fault log survived ResetStats: %v", st.Faults)
+	}
+}
+
 func TestQueueOverflowCountsAsDrop(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.QueueLen = 1

@@ -197,7 +197,13 @@ func TestEvery(t *testing.T) {
 	a.Start()
 	var ticks atomic.Int32
 	cancel := a.Every(10*time.Millisecond, func() { ticks.Add(1) })
-	time.Sleep(100 * time.Millisecond)
+	// Wait for the ticks rather than sleeping a fixed interval: on a loaded
+	// machine (the race-enabled CI suite) a fixed 100ms sleep can elapse
+	// before the ticker goroutine gets scheduled three times.
+	deadline := time.Now().Add(5 * time.Second)
+	for ticks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	cancel()
 	n := ticks.Load()
 	if n < 3 {

@@ -174,6 +174,9 @@ func (c *Causal) Rank(p types.ProcessID) int {
 
 // Add implements Engine.
 func (c *Causal) Add(msg *types.Message) []*types.Message {
+	if c.stale(msg) {
+		return nil
+	}
 	c.hold = append(c.hold, msg)
 	return c.release()
 }
@@ -181,8 +184,26 @@ func (c *Causal) Add(msg *types.Message) []*types.Message {
 // AddBatch implements Engine: the whole batch joins the holdback queue and
 // the deliverability fixpoint runs once over everything.
 func (c *Causal) AddBatch(msgs []*types.Message) []*types.Message {
-	c.hold = append(c.hold, msgs...)
+	for _, m := range msgs {
+		if !c.stale(m) {
+			c.hold = append(c.hold, m)
+		}
+	}
 	return c.release()
+}
+
+// stale reports whether msg was already delivered (its sender's component
+// of the delivered-clock has reached the message's own tick) — i.e. it is a
+// network duplicate or a retransmission. Without this check a duplicate
+// could never satisfy Deliverable (its VT[rank] equals, not exceeds, the
+// delivered count) and would sit in the holdback queue for the life of the
+// view, growing release()'s rescan cost with every duplicated cast.
+func (c *Causal) stale(m *types.Message) bool {
+	rank := c.Rank(m.ID.Sender)
+	if rank < 0 || rank >= len(m.VT) {
+		return false // unknown sender / malformed VT: release() handles it
+	}
+	return m.VT[rank] <= c.Delivered(rank)
 }
 
 // release runs the deliverability fixpoint over the holdback queue.
@@ -243,12 +264,25 @@ func (c *Causal) Delivered(rank int) uint64 {
 // Total delivers messages in a single agreed order. A sequencer (the view
 // coordinator in this implementation) assigns consecutive sequence numbers
 // starting at 1; data and order announcements may arrive in any relative
-// order.
+// order. The engine is duplicate-proof: a message id is filed against at
+// most one agreed slot and delivered at most once, no matter how often the
+// network re-delivers its data or its announcement (the chaos harness's
+// duplication injection exercises exactly this).
 type Total struct {
 	nextSeq uint64                         // next sequence number to deliver
 	byID    map[types.MsgID]*types.Message // data waiting for an order
 	order   map[uint64]types.MsgID         // seq -> message id (from sequencer)
 	ready   map[uint64]*types.Message      // seq -> data, both parts present
+	ordered map[types.MsgID]bool           // ids with an agreed slot assigned
+	// done remembers every id delivered in this view. It is what lets the
+	// sequencer refuse to assign a second agreed slot to a very late
+	// network duplicate, so it cannot be pruned to a recency window without
+	// re-opening the double-sequencing hole — the cost is O(messages
+	// delivered per view) memory, reclaimed at every view change (engines
+	// are per-view). Bounding it for very long-lived views is a ROADMAP
+	// item (it needs a retransmission/stability layer to know which ids
+	// can no longer be duplicated).
+	done map[types.MsgID]bool
 }
 
 // NewTotal returns an ABCAST engine.
@@ -258,6 +292,8 @@ func NewTotal() *Total {
 		byID:    make(map[types.MsgID]*types.Message),
 		order:   make(map[uint64]types.MsgID),
 		ready:   make(map[uint64]*types.Message),
+		ordered: make(map[types.MsgID]bool),
+		done:    make(map[types.MsgID]bool),
 	}
 }
 
@@ -280,21 +316,29 @@ func (t *Total) AddBatch(msgs []*types.Message) []*types.Message {
 
 // insert files one data message without draining.
 func (t *Total) insert(msg *types.Message) {
+	if t.done[msg.ID] {
+		return // duplicate of an already delivered message
+	}
 	if msg.Seq != 0 {
+		if t.ordered[msg.ID] {
+			return // duplicate of a sequenced cast already filed
+		}
 		t.byID[msg.ID] = msg
 		t.insertOrder(msg.Seq, msg.ID)
 		return
 	}
-	t.byID[msg.ID] = msg
 	// An order announcement may already be waiting for this data.
 	for seq, id := range t.order {
 		if id == msg.ID {
 			t.ready[seq] = msg
 			delete(t.order, seq)
-			delete(t.byID, id)
-			break
+			return
 		}
 	}
+	if t.ordered[msg.ID] {
+		return // data already filed against its slot (duplicate copy)
+	}
+	t.byID[msg.ID] = msg
 }
 
 // insertOrder files one order announcement without draining.
@@ -302,6 +346,10 @@ func (t *Total) insertOrder(seq uint64, id types.MsgID) {
 	if seq < t.nextSeq {
 		return // stale announcement
 	}
+	if t.done[id] || t.ordered[id] {
+		return // the id already has its (single) agreed slot
+	}
+	t.ordered[id] = true
 	if m, ok := t.byID[id]; ok {
 		t.ready[seq] = m
 		delete(t.byID, id)
@@ -330,11 +378,20 @@ func (t *Total) drain() []*types.Message {
 			break
 		}
 		delete(t.ready, t.nextSeq)
+		t.done[m.ID] = true
+		delete(t.ordered, m.ID)
 		m.Seq = t.nextSeq
 		out = append(out, m)
 		t.nextSeq++
 	}
 	return out
+}
+
+// Ordered reports whether an agreed slot has already been assigned to the
+// message id (sequenced, or already delivered). The sequencer consults it so
+// a network-duplicated cast can never be sequenced twice.
+func (t *Total) Ordered(id types.MsgID) bool {
+	return t.ordered[id] || t.done[id]
 }
 
 // Pending implements Engine.

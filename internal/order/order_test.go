@@ -126,6 +126,39 @@ func TestCausalRespectsDependencies(t *testing.T) {
 	}
 }
 
+// TestCausalDuplicatesDroppedNotHeld: a network duplicate of a delivered
+// CBCAST must be rejected at insert, not parked in the holdback queue for
+// the rest of the view (the chaos harness's duplication injection surfaced
+// the leak: an undeliverable duplicate grew the fixpoint's rescan cost with
+// every duplicated cast).
+func TestCausalDuplicatesDroppedNotHeld(t *testing.T) {
+	members := []types.ProcessID{p(1), p(2)}
+	recv := NewCausal(members)
+
+	m1 := causalCast(p(1), 1, vclock.VC{1, 0})
+	if out := recv.Add(m1); len(out) != 1 {
+		t.Fatalf("original not delivered: %v", out)
+	}
+	// The duplicate (same VT) must neither deliver again nor stay pending.
+	dup := causalCast(p(1), 1, vclock.VC{1, 0})
+	if out := recv.Add(dup); len(out) != 0 {
+		t.Fatalf("duplicate delivered again: %v", out)
+	}
+	if recv.Pending() != 0 {
+		t.Errorf("duplicate parked in holdback: Pending = %d", recv.Pending())
+	}
+	// Same through the batch path, interleaved with a fresh message: the
+	// duplicate is dropped, the new message delivers.
+	m2 := causalCast(p(1), 2, vclock.VC{2, 0})
+	out := recv.AddBatch([]*types.Message{causalCast(p(1), 1, vclock.VC{1, 0}), m2})
+	if len(out) != 1 || out[0].ID.Seq != 2 {
+		t.Fatalf("batch with duplicate delivered %v, want only seq 2", out)
+	}
+	if recv.Pending() != 0 {
+		t.Errorf("Pending = %d after batch duplicate", recv.Pending())
+	}
+}
+
 func TestCausalConcurrentMessagesDeliverInArrivalOrder(t *testing.T) {
 	members := []types.ProcessID{p(1), p(2), p(3)}
 	recv := NewCausal(members)
@@ -242,6 +275,42 @@ func TestTotalOrderThenData(t *testing.T) {
 	}
 	if e.NextSeq() != 2 {
 		t.Errorf("NextSeq = %d", e.NextSeq())
+	}
+}
+
+// TestTotalDuplicatesNeverResequencedOrRedelivered pins the duplicate
+// hygiene the chaos harness's duplication injection demands of ABCAST: a
+// duplicated data message (sequenced or not) and a duplicated order
+// announcement must neither deliver twice nor claim a second agreed slot.
+func TestTotalDuplicatesNeverResequencedOrRedelivered(t *testing.T) {
+	e := NewTotal()
+	m := totalCast(p(1), 1)
+	e.AddData(m)
+	if out := e.AddOrder(1, m.ID); len(out) != 1 {
+		t.Fatalf("original not delivered: %v", out)
+	}
+	if !e.Ordered(m.ID) {
+		t.Error("delivered id not reported Ordered (the sequencer would re-sequence its duplicate)")
+	}
+	// Unsequenced duplicate after delivery: dropped, not re-filed.
+	if out := e.AddData(totalCast(p(1), 1)); len(out) != 0 {
+		t.Fatalf("duplicate data delivered: %v", out)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("duplicate data parked: Pending = %d", e.Pending())
+	}
+	// Duplicate order announcement (stale seq): ignored.
+	if out := e.AddOrder(1, m.ID); len(out) != 0 {
+		t.Fatalf("stale order announcement delivered: %v", out)
+	}
+	// A duplicate carrying its agreed seq (the sequencer's own cast form).
+	dup := totalCast(p(1), 1)
+	dup.Seq = 1
+	if out := e.Add(dup); len(out) != 0 {
+		t.Fatalf("pre-sequenced duplicate delivered: %v", out)
+	}
+	if e.NextSeq() != 2 || e.Pending() != 0 {
+		t.Errorf("engine state disturbed by duplicates: next=%d pending=%d", e.NextSeq(), e.Pending())
 	}
 }
 

@@ -80,6 +80,12 @@ type (
 	// BatchingConfig configures the per-process outbox that coalesces
 	// multicast traffic into transport batch frames.
 	BatchingConfig = node.Batching
+	// FaultEvent is one fault-injection action of a fault plan (crash,
+	// partition, heal, loss/delay/duplication/reordering burst).
+	FaultEvent = netsim.FaultEvent
+	// GroupObserver taps every view install and delivery of one process
+	// across all its flat groups (history recording, tracing).
+	GroupObserver = group.Observer
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -88,6 +94,17 @@ const (
 	FBCAST    = types.FIFO
 	CBCAST    = types.Causal
 	ABCAST    = types.Total
+)
+
+// Fault kinds for WithFaultPlan events (simulated runtimes only).
+const (
+	FaultCrash     = netsim.FaultCrash
+	FaultPartition = netsim.FaultPartition
+	FaultHeal      = netsim.FaultHeal
+	FaultLoss      = netsim.FaultLoss
+	FaultDelay     = netsim.FaultDelay
+	FaultDuplicate = netsim.FaultDuplicate
+	FaultReorder   = netsim.FaultReorder
 )
 
 // DefaultDetector returns heartbeat-based failure detection suitable for
@@ -115,6 +132,7 @@ type options struct {
 	netsim     NetworkConfig
 	detector   DetectorConfig
 	batching   BatchingConfig
+	faults     []FaultEvent
 	fanout     int
 	resiliency int
 }
@@ -176,6 +194,17 @@ func WithBatching(maxBatch int, window time.Duration) Option {
 // the baseline; real deployments have no reason to.
 func WithoutBatching() Option {
 	return func(o *options) { o.batching = BatchingConfig{Disable: true} }
+}
+
+// WithFaultPlan attaches a fault plan to a simulated runtime: a timeline of
+// fault events, each tagged with the scenario step it belongs to. The plan
+// is not executed by a clock — the owner of the timeline (a test, the chaos
+// harness's scenario runner) calls Runtime.StepFaults(step) to apply the
+// events of each step at its own pace, which keeps seeded scenarios
+// deterministic. TCP runtimes ignore the plan: real deployments take their
+// faults from the real world.
+func WithFaultPlan(events ...FaultEvent) Option {
+	return func(o *options) { o.faults = append(o.faults, events...) }
 }
 
 // WithFanout sets the default fanout bound used by CreateService/JoinService
@@ -386,6 +415,51 @@ func (r *Runtime) Crash(p *Process) {
 	p.Stop()
 }
 
+// FaultPlan returns the fault plan attached with WithFaultPlan (nil when
+// none was given).
+func (r *Runtime) FaultPlan() []FaultEvent {
+	return append([]FaultEvent(nil), r.opts.faults...)
+}
+
+// StepFaults applies every fault-plan event scheduled for the given step and
+// returns the events applied. Network-level events (partitions, loss, delay,
+// duplication, reordering, heals) go to the simulated fabric; crash events
+// additionally stop the targeted process and inform the survivors, exactly
+// like Crash+InjectFailure. On TCP runtimes (no fabric to inject into) it
+// applies nothing.
+func (r *Runtime) StepFaults(step int) []FaultEvent {
+	if r.fabric == nil {
+		return nil
+	}
+	var applied []FaultEvent
+	for _, ev := range r.opts.faults {
+		if ev.Step != step {
+			continue
+		}
+		r.fabric.Inject(ev)
+		if ev.Kind == netsim.FaultCrash {
+			if p := r.processByID(ev.Proc); p != nil && !p.Stopped() {
+				p.Stop()
+				r.InjectFailure(p)
+			}
+		}
+		applied = append(applied, ev)
+	}
+	return applied
+}
+
+// processByID returns the spawned process with the given id, or nil.
+func (r *Runtime) processByID(pid ProcessID) *Process {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.procs {
+		if p.ID() == pid {
+			return p
+		}
+	}
+	return nil
+}
+
 // InjectFailure tells every other process in this runtime that p has
 // failed, without waiting for failure-detection timeouts.
 func (r *Runtime) InjectFailure(p *Process) {
@@ -425,6 +499,14 @@ func (p *Process) Stop() { p.boot.Stop() }
 
 // Stopped reports whether the process has been stopped.
 func (p *Process) Stopped() bool { return p.boot.Stopped() }
+
+// ObserveGroups installs an observer tapping every flat-group view install
+// and delivery of this process (the zero GroupObserver removes it). Install
+// it before creating or joining groups whose events must not be missed. The
+// callbacks run on the process's actor goroutine and must not block.
+func (p *Process) ObserveGroups(o GroupObserver) {
+	p.boot.Stack.SetObserver(o)
+}
 
 // CreateGroup founds a flat process group with this process as its first
 // member.

@@ -301,6 +301,72 @@ func TestFacadeNameService(t *testing.T) {
 	}
 }
 
+// TestFacadeFaultPlanAndObserver pins the chaos-facing facade surface: a
+// fault plan attached with WithFaultPlan is applied step by step through
+// StepFaults (network events reach the fabric's fault log, crash events
+// stop the process and inform survivors), and ObserveGroups taps every view
+// install and delivery.
+func TestFacadeFaultPlanAndObserver(t *testing.T) {
+	plan := []isis.FaultEvent{
+		{Step: 0, Kind: isis.FaultLoss, Rate: 0.5},
+		{Step: 1, Kind: isis.FaultCrash, Proc: isis.Site(2)},
+		{Step: 2, Kind: isis.FaultLoss, Rate: 0},
+	}
+	rt := isis.NewSimulated(isis.WithFaultPlan(plan...))
+	defer rt.Shutdown()
+
+	a := rt.MustSpawn()
+	b := rt.MustSpawn()
+
+	var views, deliveries atomic.Int32
+	a.ObserveGroups(isis.GroupObserver{
+		OnView:    func(isis.GroupID, isis.View) { views.Add(1) },
+		OnDeliver: func(isis.GroupID, isis.Delivery) { deliveries.Add(1) },
+	})
+
+	ga, err := a.CreateGroup("fp", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.JoinGroup(ctxT(t), "fp", a.ID(), isis.GroupConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if views.Load() < 2 {
+		t.Errorf("observer saw %d views, want the founding and the two-member view", views.Load())
+	}
+
+	if got := len(rt.FaultPlan()); got != len(plan) {
+		t.Errorf("FaultPlan returned %d events, want %d", got, len(plan))
+	}
+	if applied := rt.StepFaults(0); len(applied) != 1 || applied[0].Kind != isis.FaultLoss {
+		t.Errorf("step 0 applied %v", applied)
+	}
+	if applied := rt.StepFaults(1); len(applied) != 1 {
+		t.Errorf("step 1 applied %v", applied)
+	} else if !b.Stopped() {
+		t.Error("crash event did not stop the process")
+	}
+	rt.StepFaults(2)
+	if rt.StepFaults(99) != nil {
+		t.Error("empty step applied events")
+	}
+
+	// The crash suspicion reached the survivor: the group shrinks back to 1.
+	if err := isis.Await(ctxT(t), func() bool { return ga.Size() == 1 }); err != nil {
+		t.Fatalf("survivor still sees %d members: %v", ga.Size(), err)
+	}
+	// The fabric fault log recorded all three applied events.
+	faults := rt.Stats().Faults
+	if len(faults) != 3 {
+		t.Errorf("fault log has %d entries, want 3: %v", len(faults), faults)
+	}
+
+	ga.CastAsync(isis.FBCAST, []byte("observed"))
+	if err := isis.Await(ctxT(t), func() bool { return deliveries.Load() >= 1 }); err != nil {
+		t.Errorf("observer saw no delivery: %v", err)
+	}
+}
+
 // TestFacadeBatchingOptions pins the batching knobs: casts flow end to end
 // with tuned batching, with batching disabled, and (the default) with it
 // on — and the simulated fabric's frame counters reflect the difference.

@@ -122,3 +122,10 @@ func BenchmarkAblationOrdering(b *testing.B) {
 	t := runTable(b, experiments.A3Ordering)
 	b.ReportMetric(float64(t.Rows()), "orderings")
 }
+
+// BenchmarkE11LossyThroughput regenerates E11: delivered throughput and
+// completeness under random loss, with the NAK/retransmit layer on vs off.
+func BenchmarkE11LossyThroughput(b *testing.B) {
+	t := runTable(b, experiments.E11LossyThroughput)
+	b.ReportMetric(float64(t.Rows()), "rows")
+}

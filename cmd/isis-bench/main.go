@@ -1,5 +1,5 @@
 // Command isis-bench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E10 plus
+// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E11 plus
 // the ablations A1–A3.
 //
 // Usage:
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E10, A1..A3) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E11, A1..A3) or 'all'")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json files into (empty: text only)")
 	flag.Parse()
 
@@ -40,7 +40,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if strings.EqualFold(*expFlag, "all") {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
 			selected[id] = true
 		}
 	} else {
@@ -76,6 +76,7 @@ func main() {
 		{"E8", "E8", wrap1(experiments.E8SplitMerge)},
 		{"E9", "batching", wrap1(experiments.E9BatchingThroughput)},
 		{"E10", "chaos", wrap1(experiments.E10ChaosSurvival)},
+		{"E11", "lossy", wrap1(experiments.E11LossyThroughput)},
 		{"A1", "A1", wrap1(experiments.A1Fanout)},
 		{"A2", "A2", wrap1(experiments.A2Resiliency)},
 		{"A3", "A3", wrap1(experiments.A3Ordering)},

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/chaos"
 )
@@ -33,7 +34,12 @@ func main() {
 	verbose := flag.Bool("v", false, "print the generated fault timeline and violations in full")
 	flag.Parse()
 
-	profile := chaos.ProfileByName(*profileFlag)
+	profile, ok := chaos.LookupProfile(*profileFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "isis-chaos: unknown profile %q; valid profiles: %s\n",
+			*profileFlag, strings.Join(chaos.ProfileNames(), ", "))
+		os.Exit(2)
+	}
 
 	run := func(seed int64) bool {
 		s := chaos.Generate(seed, profile)

@@ -20,7 +20,7 @@
 //
 // # Invariants
 //
-// Always checked, for every scenario:
+// Checked for every scenario, lossy or strict:
 //
 //   - no duplicate deliveries: a (view, sender, seq) is delivered at most
 //     once per member, even under duplication injection;
@@ -31,26 +31,22 @@
 //   - causal precedence: per view, no member delivers a message before one
 //     that causally precedes it (CBCAST groups, via vector timestamps);
 //   - total order: per view, each member delivers the contiguous agreed
-//     prefix 1..k, and any two members agree on which message holds every
-//     agreed slot (ABCAST groups);
+//     prefix 1..k, and members agree on which message holds every agreed
+//     slot (ABCAST groups; per the non-uniform delivery contract, a crashed
+//     member's final view binds nobody — see the totalOrder checker);
 //   - view agreement: any two members that install a (group, view id)
 //     install identical member lists, and each member's view ids are
-//     strictly increasing.
-//
-// Additionally checked for strict scenarios (no loss, no partitions, no
-// reordering — crash, restart and duplication faults only):
-//
+//     strictly increasing;
 //   - virtually synchronous delivery: members that install view v+1 after
-//     view v delivered exactly the same set of view-v messages from every
-//     sender that survived into v+1. (Messages from crashed senders are
-//     exempt: without retransmission, survivors can receive different
-//     prefixes of a dead sender's traffic, and the flush cannot recover
-//     copies nobody has.)
+//     view v delivered exactly the same set of view-v messages, from every
+//     sender — crashed senders included.
 //
-// Lossy scenarios skip only the set-agreement check, because unrecoverable
-// message loss legitimately yields different delivered prefixes per member
-// (there is no retransmission layer); every other invariant must hold under
-// arbitrary loss, duplication and reordering.
+// Earlier revisions exempted crashed senders, dead-sequencer ABCAST views
+// and all lossy scenarios from the set-agreement check; the reliability
+// layer (message stability, NAK/retransmit, flush forwarding and sequencer
+// failover — see internal/reliability and DESIGN.md §8) is what retired
+// those exemptions, and this package's exemption-free checkers are the CI
+// mechanism that keeps them retired.
 package chaos
 
 import (
@@ -188,15 +184,31 @@ func SoakProfile() Profile {
 	return p
 }
 
-// ProfileByName resolves the named built-in profile ("default", "smoke",
-// "soak"); unknown names fall back to the default profile.
-func ProfileByName(name string) Profile {
+// ProfileNames lists the built-in profile names, in the order they are
+// documented.
+func ProfileNames() []string { return []string{"smoke", "default", "soak"} }
+
+// LookupProfile resolves a named built-in profile, reporting whether the
+// name is known.
+func LookupProfile(name string) (Profile, bool) {
 	switch name {
 	case "smoke":
-		return SmokeProfile()
+		return SmokeProfile(), true
+	case "default":
+		return DefaultProfile(), true
 	case "soak":
-		return SoakProfile()
+		return SoakProfile(), true
 	default:
-		return DefaultProfile()
+		return Profile{}, false
 	}
+}
+
+// ProfileByName resolves the named built-in profile ("default", "smoke",
+// "soak"); unknown names fall back to the default profile. Callers that
+// should reject unknown names (cmd/isis-chaos) use LookupProfile instead.
+func ProfileByName(name string) Profile {
+	if p, ok := LookupProfile(name); ok {
+		return p
+	}
+	return DefaultProfile()
 }

@@ -32,6 +32,18 @@ func seedCount() int {
 	return 12
 }
 
+// seedProfile reads CHAOS_PROFILE (which profile TestChaosSeeds fuzzes with).
+// The PR smoke job uses the default (smoke); the nightly soak sets it to
+// "default" for bigger clusters and longer timelines.
+func seedProfile() chaos.Profile {
+	if v := os.Getenv("CHAOS_PROFILE"); v != "" {
+		if p, ok := chaos.LookupProfile(v); ok {
+			return p
+		}
+	}
+	return chaos.SmokeProfile()
+}
+
 // reportFailure prints the replay instructions and, when CHAOS_ARTIFACT_DIR
 // is set (the CI chaos-smoke job), appends the failing seed to the artifact
 // file the job uploads.
@@ -118,12 +130,12 @@ func TestGenerateClosesFaults(t *testing.T) {
 // TestChaosSeeds is the fuzzing regression net: it runs CHAOS_SEEDS (default
 // a dozen) generated scenarios and fails with replay instructions if any
 // invariant breaks. The CI chaos-smoke job runs it with CHAOS_SEEDS=200
-// under -race.
+// under -race; the nightly soak adds CHAOS_SEEDS=1000 CHAOS_PROFILE=default.
 func TestChaosSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	profile := chaos.SmokeProfile()
+	profile := seedProfile()
 	n := seedCount()
 	for seed := int64(1); seed <= int64(n); seed++ {
 		seed := seed

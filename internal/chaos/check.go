@@ -29,20 +29,20 @@ func (v Violation) String() string {
 const maxViolationsPerCheck = 25
 
 // CheckHistories runs every invariant checker over the recorded histories.
-// orderings maps each group key to the ordering its workload used; strict
-// additionally enables the virtually-synchronous set-agreement check (valid
-// only for scenarios without unrecoverable faults — see the package
-// comment).
-func CheckHistories(hists []*History, orderings map[string]types.Ordering, strict bool) []Violation {
+// orderings maps each group key to the ordering its workload used. Every
+// scenario — lossy or strict — is graded against the full set of invariants,
+// including virtually synchronous set agreement: the stability/NAK/
+// retransmit layer (flush forwarding, sequencer failover) is what upgraded
+// lossy, crashed-sender and dead-sequencer scenarios from safety-only
+// checking to full set agreement.
+func CheckHistories(hists []*History, orderings map[string]types.Ordering) []Violation {
 	c := &checker{orderings: orderings}
 	c.noDupAndPayload(hists)
 	c.fifoContiguity(hists)
 	c.causalPrecedence(hists)
 	c.totalOrder(hists)
 	c.viewAgreement(hists)
-	if strict {
-		c.setAgreement(hists)
-	}
+	c.setAgreement(hists)
 	return c.violations
 }
 
@@ -197,6 +197,16 @@ func vtStrictlyBefore(a, b []uint64) bool {
 // totalOrder: in ABCAST groups each member delivers the contiguous agreed
 // prefix 1..k of each view, in order, and any two members agree on which
 // message occupies every agreed slot.
+//
+// Occupancy is compared per the non-uniform (ISIS-style) delivery contract:
+// a crashed process's deliveries in the view it crashed in are excluded from
+// the cross-member slot map. With sequencer failover, a dying member can
+// have delivered a binding the old sequencer announced to it alone; the new
+// coordinator — unable to learn a binding no survivor holds — re-announces
+// that slot differently, and total order binds the members that remain. The
+// crashed member's earlier views (which it survived into a successor) are
+// still compared, and all of its deliveries remain subject to the
+// per-member prefix, duplicate and payload checks.
 func (c *checker) totalOrder(hists []*History) {
 	type slot struct {
 		view   types.ViewID
@@ -212,6 +222,12 @@ func (c *checker) totalOrder(hists []*History) {
 		}
 		global := make(map[slot]occupant)
 		for _, h := range hists {
+			var finalView types.ViewID
+			if h.Crashed() {
+				if vs := h.Views(gk); len(vs) > 0 {
+					finalView = vs[len(vs)-1].ID
+				}
+			}
 			next := make(map[types.ViewID]uint64)
 			for _, d := range h.Deliveries(gk) {
 				want := next[d.View] + 1
@@ -223,6 +239,9 @@ func (c *checker) totalOrder(hists []*History) {
 				}
 				if d.Agreed > next[d.View] {
 					next[d.View] = d.Agreed
+				}
+				if h.Crashed() && d.View == finalView {
+					continue // non-uniform delivery: a crashed member's final view binds nobody
 				}
 				k := slot{d.View, d.Agreed}
 				occ := occupant{d.Sender, d.Seq}
@@ -282,30 +301,23 @@ func membersString(v member.View) string {
 	return strings.Join(parts, " ")
 }
 
-// setAgreement is the virtually-synchronous delivery check, valid only for
-// strict scenarios (no unrecoverable faults): members that install view v+1
-// after view v must have delivered exactly the same set of view-v messages
-// from every sender that survived into v+1.
+// setAgreement is the virtually-synchronous delivery check: members that
+// install view v+1 after view v must have delivered exactly the same set of
+// view-v messages — from every sender, crashed senders included. The
+// stability/NAK/retransmit layer is what makes this checkable without
+// exemptions: flush forwarding re-multicasts a dead sender's unstable casts
+// to the survivors, sequencer failover re-announces the agreed order when
+// the coordinator dies, and NAK/retransmit recovers casts lost to random
+// loss and healed partitions, so lossy scenarios are graded exactly like
+// strict ones.
 //
-// Documented exemptions, matching what this implementation can guarantee
-// without a retransmission/flush-forwarding layer:
-//
-//   - messages from senders removed in v+1 (they crashed; survivors may
-//     hold different prefixes of a dead sender's traffic and the flush
-//     cannot recover copies nobody has);
-//   - ABCAST groups for views whose coordinator (the sequencer) was
-//     removed in v+1: order announcements still in the dead sequencer's
-//     outbox reach some members and not others, and nobody re-sequences
-//     (sequencer failover re-sequencing is an open roadmap item);
-//   - CBCAST groups for views that removed any member: a surviving
-//     sender's cast may causally depend on a dead sender's partially
-//     fanned-out message and stay undeliverable at some members;
-//   - terminal views (no successor installed anywhere): compared only
-//     across members still alive at the end of the run, and skipped
-//     entirely if any member of the view crashed (the successor install
-//     may not have formed before the run ended).
+// The one remaining boundary condition is the harness's, not the
+// protocol's: terminal views (no successor installed anywhere) are compared
+// only across members still alive at the end of the run, and skipped when a
+// member of the view crashed — the run may have ended mid-view-change,
+// before the flush that would have reconciled the survivors.
 func (c *checker) setAgreement(hists []*History) {
-	for gk, ordering := range c.orderings {
+	for gk := range c.orderings {
 		// Index each history's installed views and per-view delivered sets.
 		type histView struct {
 			h     *History
@@ -341,27 +353,10 @@ func (c *checker) setAgreement(hists []*History) {
 		}
 
 		for vid, v := range globalViews {
-			succ, hasSucc := globalViews[vid+1]
+			_, hasSucc := globalViews[vid+1]
 
-			var surviving func(types.ProcessID) bool
 			var eligible []histView
 			if hasSucc {
-				if ordering == types.Total && !succ.Contains(v.Coordinator()) {
-					continue // sequencer died: see the exemption list above
-				}
-				if ordering == types.Causal {
-					removed := false
-					for _, m := range v.Members {
-						if !succ.Contains(m) {
-							removed = true
-							break
-						}
-					}
-					if removed {
-						continue // a member was removed: causal-dependency exemption
-					}
-				}
-				surviving = func(p types.ProcessID) bool { return v.Contains(p) && succ.Contains(p) }
 				for _, hv := range idx {
 					if _, inV := hv.views[vid]; inV {
 						if _, inSucc := hv.views[vid+1]; inSucc {
@@ -380,7 +375,6 @@ func (c *checker) setAgreement(hists []*History) {
 				if anyCrashed {
 					continue
 				}
-				surviving = func(p types.ProcessID) bool { return v.Contains(p) && !crashedPID[p] }
 				for _, hv := range idx {
 					vs := hv.h.Views(gk)
 					if len(vs) > 0 && vs[len(vs)-1].ID == vid && !hv.h.Crashed() {
@@ -392,18 +386,9 @@ func (c *checker) setAgreement(hists []*History) {
 				continue
 			}
 
-			filter := func(hv histView) map[msgKey]bool {
-				out := make(map[msgKey]bool)
-				for k := range hv.sets[vid] {
-					if surviving(k.sender) {
-						out[k] = true
-					}
-				}
-				return out
-			}
-			ref := filter(eligible[0])
+			ref := eligible[0].sets[vid]
 			for _, hv := range eligible[1:] {
-				got := filter(hv)
+				got := hv.sets[vid]
 				if len(got) == len(ref) {
 					same := true
 					for k := range ref {

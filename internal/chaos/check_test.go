@@ -65,7 +65,7 @@ func TestCheckCleanHistoriesPass(t *testing.T) {
 		addDelivery(h, types.FIFO, 1, tpid(1), 2, 0, nil)
 		addDelivery(h, types.FIFO, 1, tpid(2), 1, 0, nil)
 	}
-	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true)
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO))
 	if len(vs) != 0 {
 		t.Fatalf("clean histories reported violations: %v", vs)
 	}
@@ -76,7 +76,7 @@ func TestCheckDetectsDuplicate(t *testing.T) {
 	addView(h, types.FIFO, 1, tpid(1))
 	addDelivery(h, types.FIFO, 1, tpid(1), 1, 0, nil)
 	addDelivery(h, types.FIFO, 1, tpid(1), 1, 0, nil)
-	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO), false))
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO)))
 	if fired["no-duplicates"] == 0 {
 		t.Errorf("duplicate delivery not detected: %v", fired)
 	}
@@ -87,7 +87,7 @@ func TestCheckDetectsFIFOGap(t *testing.T) {
 	addView(h, types.FIFO, 1, tpid(1), tpid(2))
 	addDelivery(h, types.FIFO, 1, tpid(2), 1, 0, nil)
 	addDelivery(h, types.FIFO, 1, tpid(2), 3, 0, nil) // gap: 2 missing
-	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO), false))
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.FIFO)))
 	if fired["fifo-prefix"] == 0 {
 		t.Errorf("FIFO gap not detected: %v", fired)
 	}
@@ -99,7 +99,7 @@ func TestCheckDetectsCausalInversion(t *testing.T) {
 	// VT {1,1} causally follows {1,0}; delivering it first is an inversion.
 	addDelivery(h, types.Causal, 1, tpid(2), 1, 0, []uint64{1, 1})
 	addDelivery(h, types.Causal, 1, tpid(1), 1, 0, []uint64{1, 0})
-	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Causal), false))
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Causal)))
 	if fired["causal-precedence"] == 0 {
 		t.Errorf("causal inversion not detected: %v", fired)
 	}
@@ -112,7 +112,7 @@ func TestCheckDetectsTotalOrderDisagreement(t *testing.T) {
 	// Same agreed slot, different occupant at the two members.
 	addDelivery(a, types.Total, 1, tpid(1), 1, 1, nil)
 	addDelivery(b, types.Total, 1, tpid(2), 1, 1, nil)
-	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.Total), false))
+	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.Total)))
 	if fired["total-agreement"] == 0 {
 		t.Errorf("total-order disagreement not detected: %v", fired)
 	}
@@ -123,7 +123,7 @@ func TestCheckDetectsTotalPrefixGap(t *testing.T) {
 	addView(h, types.Total, 1, tpid(1), tpid(2))
 	addDelivery(h, types.Total, 1, tpid(2), 1, 1, nil)
 	addDelivery(h, types.Total, 1, tpid(2), 2, 3, nil) // agreed slot 2 skipped
-	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Total), false))
+	fired := checksFired(CheckHistories([]*History{h}, orderingsFor(types.Total)))
 	if fired["total-prefix"] == 0 {
 		t.Errorf("agreed-prefix gap not detected: %v", fired)
 	}
@@ -133,7 +133,7 @@ func TestCheckDetectsViewDisagreement(t *testing.T) {
 	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
 	addView(a, types.FIFO, 2, tpid(1), tpid(2))
 	addView(b, types.FIFO, 2, tpid(1), tpid(3)) // same id, different members
-	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), false))
+	fired := checksFired(CheckHistories([]*History{a, b}, orderingsFor(types.FIFO)))
 	if fired["view-agreement"] == 0 {
 		t.Errorf("view disagreement not detected: %v", fired)
 	}
@@ -151,21 +151,18 @@ func TestCheckDetectsVirtualSynchronyBreach(t *testing.T) {
 	addDelivery(a, types.FIFO, 1, tpid(2), 2, 0, nil)
 	addDelivery(b, types.FIFO, 1, tpid(2), 1, 0, nil) // missing seq 2
 
-	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true)
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO))
 	fired := checksFired(vs)
 	if fired["virtual-synchrony"] == 0 {
 		t.Errorf("virtual-synchrony breach not detected: %v", vs)
 	}
-	// The same histories pass when the scenario was lossy (set agreement is
-	// not required under unrecoverable loss).
-	if vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), false); len(vs) != 0 {
-		t.Errorf("lossy mode still reported: %v", vs)
-	}
 }
 
-func TestCheckVirtualSynchronyExemptsCrashedSender(t *testing.T) {
-	// Sender 3 is removed in view 2; survivors hold different prefixes of
-	// its view-1 traffic — exempt, not a violation.
+func TestCheckVirtualSynchronyIncludesCrashedSender(t *testing.T) {
+	// Sender 3 is removed in view 2 and survivors hold different prefixes of
+	// its view-1 traffic. With flush forwarding this is a protocol failure,
+	// not an exemption: survivors must reconcile a dead sender's casts
+	// before installing the next view.
 	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
 	for _, h := range []*History{a, b} {
 		addView(h, types.FIFO, 1, tpid(1), tpid(2), tpid(3))
@@ -174,8 +171,26 @@ func TestCheckVirtualSynchronyExemptsCrashedSender(t *testing.T) {
 	addDelivery(a, types.FIFO, 1, tpid(3), 1, 0, nil)
 	addDelivery(a, types.FIFO, 1, tpid(3), 2, 0, nil)
 	addDelivery(b, types.FIFO, 1, tpid(3), 1, 0, nil)
-	if vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO), true); len(vs) != 0 {
-		t.Errorf("crashed-sender prefix divergence wrongly reported: %v", vs)
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.FIFO))
+	if checksFired(vs)["virtual-synchrony"] == 0 {
+		t.Errorf("crashed-sender prefix divergence not detected: %v", vs)
+	}
+}
+
+func TestCheckTotalAgreementExemptsCrashedFinalView(t *testing.T) {
+	// Non-uniform delivery: a member that crashed in a view may have
+	// delivered a binding the failover re-announced differently; its final
+	// view binds nobody. The same disagreement between two live members (or
+	// in a view the crashed member survived) still fires.
+	a, b := NewHistory(tpid(1)), NewHistory(tpid(2))
+	addView(a, types.Total, 1, tpid(1), tpid(2))
+	addView(b, types.Total, 1, tpid(1), tpid(2))
+	addDelivery(a, types.Total, 1, tpid(1), 1, 1, nil)
+	addDelivery(b, types.Total, 1, tpid(2), 1, 1, nil)
+	a.MarkCrashed()
+	vs := CheckHistories([]*History{a, b}, orderingsFor(types.Total))
+	if checksFired(vs)["total-agreement"] != 0 {
+		t.Errorf("crashed member's final view wrongly bound the survivors: %v", vs)
 	}
 }
 
@@ -189,7 +204,7 @@ func TestCheckVirtualSynchronyTerminalViewSkipsCrashed(t *testing.T) {
 	addDelivery(a, types.FIFO, 1, tpid(1), 1, 0, nil)
 	addDelivery(c, types.FIFO, 1, tpid(1), 1, 0, nil)
 	b.MarkCrashed() // delivered nothing before dying
-	if vs := CheckHistories([]*History{a, b, c}, orderingsFor(types.FIFO), true); len(vs) != 0 {
+	if vs := CheckHistories([]*History{a, b, c}, orderingsFor(types.FIFO)); len(vs) != 0 {
 		t.Errorf("terminal view with crashed member wrongly reported: %v", vs)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	isis "repro"
 	"repro/internal/netsim"
+	"repro/internal/reliability"
 	"repro/internal/types"
 )
 
@@ -30,6 +31,10 @@ type Result struct {
 	Restarts     int
 	JoinFailures int
 	Stats        netsim.Stats
+	// Rel sums the reliability layer's recovery counters (NAKs, flush
+	// forwarding, failover re-announcements) over every process still
+	// running at the end of the scenario.
+	Rel reliability.Stats
 
 	Violations []Violation
 }
@@ -43,9 +48,11 @@ func (r *Result) String() string {
 	if r.Failed() {
 		status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
 	}
-	return fmt.Sprintf("%s — casts=%d deliveries=%d views=%d crashes=%d restarts=%d dup=%d reord=%d dropped=%d %s in %v",
+	return fmt.Sprintf("%s — casts=%d deliveries=%d views=%d crashes=%d restarts=%d dup=%d reord=%d dropped=%d naks=%d/%d fwd=%d reann=%d %s in %v",
 		r.Scenario.Summary(), r.CastsIssued, r.Deliveries, r.ViewsApplied, r.Crashes, r.Restarts,
-		r.Stats.MessagesDuplicated, r.Stats.MessagesReordered, r.Stats.MessagesDropped, status, r.Elapsed.Round(time.Millisecond))
+		r.Stats.MessagesDuplicated, r.Stats.MessagesReordered, r.Stats.MessagesDropped,
+		r.Rel.NaksSent, r.Rel.NaksServed, r.Rel.Forwarded, r.Rel.Reannounced,
+		status, r.Elapsed.Round(time.Millisecond))
 }
 
 // slot is one scenario node position: the process currently occupying it
@@ -261,6 +268,11 @@ func Run(s Scenario) (*Result, error) {
 	quiesce(rec, p)
 
 	res.Stats = rt.Stats()
+	for _, proc := range rt.Processes() {
+		if !proc.Stopped() {
+			res.Rel.Add(proc.ReliabilityStats())
+		}
+	}
 	rt.Shutdown()
 	res.JoinFailures = int(joinFailures.Load())
 
@@ -274,7 +286,7 @@ func Run(s Scenario) (*Result, error) {
 	for _, o := range p.Orderings {
 		orderings[types.FlatGroup(GroupName(o)).Key()] = o
 	}
-	res.Violations = CheckHistories(hists, orderings, !s.Lossy)
+	res.Violations = CheckHistories(hists, orderings)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -308,11 +320,16 @@ func castPayload(site uint32, o types.Ordering, step, k int) []byte {
 }
 
 // quiesce waits until no new views or deliveries have been recorded for a
-// quiet period (or the settle timeout expires).
+// quiet period (or the settle timeout expires). The quiet floor must
+// comfortably exceed the reliability layer's recovery cadence (NAK timer,
+// flush retry, stability reports — tens of milliseconds): declaring the run
+// settled between two recovery rounds would snapshot histories mid-repair
+// and report divergence the protocol was about to close, which is exactly
+// what happens under heavy -race parallelism if the floor is tight.
 func quiesce(rec *recorder, p Profile) {
 	quiet := 5 * p.StepInterval
-	if quiet < 50*time.Millisecond {
-		quiet = 50 * time.Millisecond
+	if quiet < 250*time.Millisecond {
+		quiet = 250 * time.Millisecond
 	}
 	deadline := time.Now().Add(p.SettleTimeout)
 	last, lastChange := rec.eventCount(), time.Now()

@@ -190,8 +190,13 @@ func TestClientRequestRoutedToSingleLeaf(t *testing.T) {
 	if disturbed > maxLeaf+2 {
 		t.Errorf("request disturbed %d processes; leaf size is only %d", disturbed, maxLeaf)
 	}
-	if stats.MessagesSent > uint64(3*maxLeaf+6) {
-		t.Errorf("request cost %d messages; expected ~2*leaf (%d)", stats.MessagesSent, maxLeaf)
+	// The request cost excludes the reliability layer's periodic stability
+	// reports: they are amortized background traffic bounded by the timer
+	// (and leaf-local, which the DistinctReceivers bound above still
+	// verifies), not a per-request cost.
+	perRequest := stats.MessagesSent - stats.PerKind[types.KindStability]
+	if perRequest > uint64(3*maxLeaf+6) {
+		t.Errorf("request cost %d messages; expected ~2*leaf (%d)", perRequest, maxLeaf)
 	}
 }
 

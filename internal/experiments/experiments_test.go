@@ -48,3 +48,17 @@ func TestE10ChaosSurvivalSmoke(t *testing.T) {
 		t.Fatal("E10 produced no rows")
 	}
 }
+
+func TestE11LossyThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := experiments.E11LossyThroughput(experiments.Smoke)
+	if err != nil {
+		t.Fatalf("E11 smoke: %v", err)
+	}
+	// Two loss rates × two modes.
+	if table.Rows() != 4 {
+		t.Fatalf("E11 smoke rows = %d, want 4", table.Rows())
+	}
+}

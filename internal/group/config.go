@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/member"
+	"repro/internal/reliability"
 	"repro/internal/types"
 )
 
@@ -61,6 +62,19 @@ type Config struct {
 	// RetryInterval is how often blocking Join retries its request while the
 	// contact or coordinator is unresponsive. Zero selects 300ms.
 	RetryInterval time.Duration
+
+	// FlushRetry is how often a coordinator re-sends its view proposal to
+	// members that have not acknowledged the flush, so a lost propose or
+	// acknowledgement cannot stall a view change. It is deliberately close
+	// to the NAK interval: a wedged coordinator parks incoming casts, so
+	// every retry period of stall is a period of delivery divergence the
+	// cut must later repair. Zero selects 40ms.
+	FlushRetry time.Duration
+
+	// Reliability tunes the message-stability and NAK/retransmit layer
+	// (zero fields select the defaults; DisableRetransmit turns recovery
+	// off for baseline measurements).
+	Reliability reliability.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -73,5 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 300 * time.Millisecond
 	}
+	if c.FlushRetry <= 0 {
+		c.FlushRetry = 40 * time.Millisecond
+	}
+	c.Reliability = c.Reliability.WithDefaults()
 	return c
 }

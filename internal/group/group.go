@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/member"
 	"repro/internal/order"
+	"repro/internal/reliability"
 	"repro/internal/types"
 )
 
@@ -29,24 +30,49 @@ type Group struct {
 	acks    map[uint64]*ackWaiter
 
 	// Receiver-side state.
-	recvSeq map[types.ProcessID]uint64
-	fifo    *order.FIFO
-	causal  *order.Causal
-	total   *order.Total
-	seqr    *order.Sequencer
+	fifo   *order.FIFO
+	causal *order.Causal
+	total  *order.Total
+	seqr   *order.Sequencer
+
+	// Reliability state: per-view receive/stability tracker plus cumulative
+	// counters. The previous view's tracker and total-order engine are kept
+	// for one view so NAKs from members still installing can be served.
+	rel        *reliability.Tracker
+	relStats   reliability.Stats
+	prevViewID types.ViewID
+	prevRel    *reliability.Tracker
+	prevTotal  *order.Total
 
 	suspected map[types.ProcessID]bool
 
 	// Coordinator-side view-change state.
-	flush     *member.FlushTracker
-	pendJoin  []types.ProcessID
-	pendLeave []types.ProcessID
-	pendFail  []types.ProcessID
+	flush            *member.FlushTracker
+	pendJoin         []types.ProcessID
+	pendLeave        []types.ProcessID
+	pendFail         []types.ProcessID
+	flushRetryCancel func()
 
 	// Member-side view-change state.
 	pending      *pendingInstall
 	futureCasts  []*types.Message
 	afterInstall []func()
+	// parked holds current-view casts that arrived while wedged: delivering
+	// them eagerly could exceed the flush's delivery cut at this member only,
+	// breaking set agreement. They are replayed (up to the cut) when the
+	// install arrives and discarded beyond it.
+	parked       []*types.Message
+	forwardedFor types.ViewID    // proposed view we already flush-forwarded for
+	proposeFrom  types.ProcessID // proposer of the in-progress view change
+	proposedView types.ViewID
+
+	// Recovery timer and bookkeeping (NAKs, stability reports, view NAKs).
+	recoveryCancel     func()
+	stabTicks          int
+	ordGapTicks        int
+	viewNakRR          int
+	lastInstallView    types.ViewID
+	lastInstallPayload []byte
 
 	joinedC   chan struct{}
 	joinedSet bool
@@ -75,8 +101,9 @@ type ackWaiter struct {
 }
 
 type pendingInstall struct {
-	view member.View
-	cut  map[types.ProcessID]uint64
+	view  member.View
+	cut   map[types.ProcessID]uint64
+	abCut uint64 // highest re-announced ABCAST slot to deliver before installing
 }
 
 func newGroup(s *Stack, gid types.GroupID, cfg Config) *Group {
@@ -85,7 +112,6 @@ func newGroup(s *Stack, gid types.GroupID, cfg Config) *Group {
 		id:        gid,
 		cfg:       cfg,
 		acks:      make(map[uint64]*ackWaiter),
-		recvSeq:   make(map[types.ProcessID]uint64),
 		suspected: make(map[types.ProcessID]bool),
 		joinedC:   make(chan struct{}),
 		leftC:     make(chan struct{}),
@@ -133,12 +159,25 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 	_ = cut // the cut was already honoured (or timed out) by the caller
 	self := g.stack.node.PID()
 
+	// Keep the outgoing view's retransmit buffer and delivered-order log for
+	// one view: members still waiting for this install NAK their missing
+	// casts and bindings, and the holders that already moved on must still
+	// be able to serve them.
+	if g.joined {
+		g.prevViewID, g.prevRel, g.prevTotal = g.view.ID, g.rel, g.total
+	}
+	g.parked = nil
+	g.forwardedFor = 0
+	g.proposeFrom = types.NilProcess
+	g.proposedView = 0
+	g.ordGapTicks = 0
+
 	g.view = v
 	g.joined = true
 	g.wedged = false
 	g.pending = nil
 	g.sendSeq = 0
-	g.recvSeq = make(map[types.ProcessID]uint64)
+	g.rel = reliability.NewTracker(self, v.Members, &g.relStats)
 	g.fifo = order.NewFIFO()
 	g.causal = order.NewCausal(v.Members)
 	g.total = order.NewTotal()
@@ -151,6 +190,9 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 		if !v.Contains(p) {
 			delete(g.suspected, p)
 		}
+	}
+	if g.recoveryCancel == nil {
+		g.recoveryCancel = g.stack.node.Every(g.cfg.Reliability.NakInterval, func() { g.onRecoveryTick() })
 	}
 
 	g.snapMu.Lock()
@@ -200,6 +242,11 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 // markLeft finalises removal of the local process from the group.
 func (g *Group) markLeft() {
 	g.closed = true
+	if g.recoveryCancel != nil {
+		g.recoveryCancel()
+		g.recoveryCancel = nil
+	}
+	g.cancelFlushRetry()
 	g.dropSubscribers()
 	g.snapMu.Lock()
 	g.closedSnap = true
@@ -341,6 +388,8 @@ func (g *Group) startViewChange() {
 	corr := g.stack.node.NextCorr()
 	g.flush = member.NewFlushTracker(proposed, corr, waitFor)
 	g.wedged = true
+	g.proposedView = proposed.ID
+	g.flushForward(proposed)
 
 	payload := types.EncodeString(nil, string(proposed.Encode()))
 	template := &types.Message{
@@ -351,10 +400,109 @@ func (g *Group) startViewChange() {
 		Payload: payload,
 	}
 	g.stack.node.SendCopies(g.view.Members, template)
+	g.scheduleFlushRetry(corr, payload)
 
 	// The coordinator's own flush contribution.
-	if g.flush.Ack(self, g.copyRecvSeq()) {
+	g.flush.NoteOrder(self, g.orderInfo())
+	if g.flush.Ack(self, g.cutVector()) {
 		g.finishFlush()
+	}
+}
+
+// flushForward re-multicasts every unstable cast this member holds to the
+// survivors of a proposed view change (classic virtual synchrony's flush
+// forwarding). It runs once per proposed view, at the moment the member
+// wedges: anything a survivor received before acknowledging the flush is
+// thereby offered to every other survivor, so the aggregated delivery cut —
+// built from contiguous-receive watermarks — is always satisfiable, even for
+// casts whose sender crashed mid-fanout. Stability bounds the forwarded set:
+// casts every member already holds are never re-sent.
+func (g *Group) flushForward(proposed member.View) {
+	if g.cfg.Reliability.DisableRetransmit || g.rel == nil || !g.joined {
+		return
+	}
+	if g.forwardedFor == proposed.ID {
+		return
+	}
+	g.forwardedFor = proposed.ID
+	self := g.stack.node.PID()
+	var dests []types.ProcessID
+	for _, p := range g.view.Members {
+		if p != self && proposed.Contains(p) && !g.suspected[p] {
+			dests = append(dests, p)
+		}
+	}
+	if len(dests) == 0 {
+		return
+	}
+	for _, m := range g.rel.Unstable() {
+		c := m.Clone()
+		// Forwarded copies must not re-trigger resiliency acknowledgements
+		// under the forwarder's correlation space, and must not replay the
+		// original sender's stale stability report as the forwarder's own.
+		c.Corr = 0
+		c.Stab, c.StabOrd = nil, 0
+		g.stack.node.SendCopies(dests, c)
+		g.relStats.Forwarded++
+	}
+}
+
+// orderInfo snapshots this member's ABCAST state for a flush
+// acknowledgement.
+func (g *Group) orderInfo() member.OrderInfo {
+	if g.total == nil {
+		return member.OrderInfo{Next: 1}
+	}
+	return member.OrderInfo{
+		Next:      g.total.NextSeq(),
+		Bindings:  g.total.Bindings(0),
+		Unordered: g.total.UnorderedIDs(),
+	}
+}
+
+// cutVector is this member's flush-acknowledgement delivery cut: per-sender
+// contiguous-receive watermarks (every sequence in it is a cast this process
+// holds, so the aggregated cut is satisfiable by forwarding), plus its own
+// send watermark.
+func (g *Group) cutVector() map[types.ProcessID]uint64 {
+	var out map[types.ProcessID]uint64
+	if g.rel != nil {
+		out = g.rel.CutVector()
+	} else {
+		out = make(map[types.ProcessID]uint64, 1)
+	}
+	out[g.stack.node.PID()] = g.sendSeq
+	return out
+}
+
+// scheduleFlushRetry re-sends the view proposal to members that have not
+// acknowledged yet, so a lost propose (or a lost acknowledgement) cannot
+// stall the view change forever. The retry stops when the flush completes.
+func (g *Group) scheduleFlushRetry(corr uint64, payload []byte) {
+	g.cancelFlushRetry()
+	g.flushRetryCancel = g.stack.node.Every(g.cfg.FlushRetry, func() {
+		if g.closed || g.flush == nil || g.flush.Corr != corr {
+			return
+		}
+		waiting := g.flush.Waiting()
+		if len(waiting) == 0 {
+			return
+		}
+		template := &types.Message{
+			Kind:    types.KindViewPropose,
+			Group:   g.id,
+			View:    g.flush.Proposed.ID,
+			Corr:    corr,
+			Payload: payload,
+		}
+		g.stack.node.SendCopies(waiting, template)
+	})
+}
+
+func (g *Group) cancelFlushRetry() {
+	if g.flushRetryCancel != nil {
+		g.flushRetryCancel()
+		g.flushRetryCancel = nil
 	}
 }
 
@@ -364,10 +512,46 @@ func (g *Group) finishFlush() {
 	}
 	proposed := g.flush.Proposed
 	cut := g.flush.Cut()
+	reannounce, unbound, lastSlot := g.flush.MergedOrder()
 	g.flush = nil
+	g.cancelFlushRetry()
+
+	// Sequencer failover: re-announce the agreed order of the closing view.
+	// Bindings some survivor still needs are re-sent, and casts whose order
+	// announcements died with the old sequencer get fresh slots after the
+	// highest slot it provably used. Survivors that already delivered a
+	// re-announced slot ignore it as stale; within one view there is a
+	// single sequencer, so re-announced bindings can never conflict.
+	abCut := lastSlot
+	if !g.cfg.Reliability.DisableRetransmit {
+		anns := reannounce
+		for _, id := range unbound {
+			abCut++
+			anns = append(anns, types.SeqBinding{Seq: abCut, ID: id})
+		}
+		for _, b := range anns {
+			om := &types.Message{
+				Kind:  types.KindOrder,
+				Group: g.id,
+				View:  g.view.ID,
+				ID:    b.ID,
+				Seq:   b.Seq,
+			}
+			g.stack.node.SendCopies(g.view.Members, om)
+			for _, d := range g.total.AddOrder(b.Seq, b.ID) {
+				g.deliver(d)
+			}
+			g.relStats.Reannounced++
+		}
+	}
+
+	// Replay casts parked during the wedge, up to the cut, before the
+	// install freezes the view's delivered set.
+	g.applyParked(cut)
 
 	viewBytes := types.EncodeString(nil, string(proposed.Encode()))
 	payload := append(viewBytes, member.EncodeCut(cut)...)
+	payload = types.EncodeUint64(payload, abCut)
 
 	// Install goes to everyone who needs to learn the outcome: members of
 	// the new view plus members of the old view that were removed.
@@ -384,6 +568,10 @@ func (g *Group) finishFlush() {
 		Payload: payload,
 	}
 	g.stack.node.SendCopies(dests, template)
+	// Keep the install so members whose copy was lost can re-request it
+	// (KindViewNak).
+	g.lastInstallView = proposed.ID
+	g.lastInstallPayload = payload
 
 	// State transfer to joiners.
 	if g.cfg.StateProvider != nil {
@@ -400,13 +588,40 @@ func (g *Group) finishFlush() {
 		}
 	}
 
-	// Apply locally.
+	// Apply locally, honouring the same delivery cut members honour (the
+	// coordinator itself may still be missing forwarded casts in flight).
 	self := g.stack.node.PID()
 	if proposed.Contains(self) {
-		g.install(proposed, cut)
+		g.holdOrInstall(proposed, cut, abCut)
 	} else {
 		g.markLeft()
 	}
+}
+
+// holdOrInstall installs the view once the delivery cut (and the
+// re-announced ABCAST prefix) is satisfied, holding it as a pending install
+// with a grace timeout otherwise. Shared by the coordinator's local apply
+// and the member-side install handler.
+func (g *Group) holdOrInstall(v member.View, cut map[types.ProcessID]uint64, abCut uint64) {
+	if g.joined && !g.cutSatisfied(cut, abCut) {
+		// Wedge while the install is pending: a member whose propose copy
+		// was lost (the flush completed by dropping it as suspected) arrives
+		// here unwedged, and without the wedge it would keep delivering —
+		// and, as sequencer, keep sequencing — closing-view casts beyond the
+		// cut that every other survivor parks and discards.
+		g.wedged = true
+		g.pending = &pendingInstall{view: v, cut: cut, abCut: abCut}
+		vid := v.ID
+		g.stack.node.After(g.cfg.InstallGrace, func() {
+			if g.pending != nil && g.pending.view.ID == vid {
+				p := g.pending
+				g.pending = nil
+				g.install(p.view, p.cut)
+			}
+		})
+		return
+	}
+	g.install(v, cut)
 }
 
 // --- membership: member side --------------------------------------------------
@@ -426,18 +641,46 @@ func (g *Group) onViewPropose(m *types.Message) {
 	if !ok {
 		return
 	}
-	if _, err := member.DecodeView([]byte(viewStr)); err != nil {
+	proposed, err := member.DecodeView([]byte(viewStr))
+	if err != nil {
+		return
+	}
+	if !g.joined || m.View != g.view.ID+1 {
+		// The proposal closes a view we are not in — we missed at least one
+		// install. Acknowledging now would merge this member's watermarks
+		// for an older view into the new view's delivery cut, corrupting it
+		// for everyone (sequence numbers restart per view). Wedge, remember
+		// the proposal, and let the recovery tick pull the installs we are
+		// missing; the proposer's flush retry collects our acknowledgement
+		// once we have caught up.
+		if g.joined {
+			g.wedged = true
+			g.proposeFrom = m.From
+			if m.View > g.proposedView {
+				g.proposedView = m.View
+			}
+		}
 		return
 	}
 	g.wedged = true
-	// Flush acknowledgement carries how much of each sender's traffic we
-	// have received in the current view.
+	g.proposeFrom = m.From
+	if m.View > g.proposedView {
+		g.proposedView = m.View
+	}
+	// Forward our unstable casts to the survivors before acknowledging, so
+	// the cut we are about to report is satisfiable everywhere (once per
+	// proposed view; retried proposes only re-acknowledge).
+	g.flushForward(proposed)
+	// Flush acknowledgement carries the contiguous prefix of each sender's
+	// traffic we hold, plus our ABCAST order state for sequencer failover.
+	payload := member.EncodeCut(g.cutVector())
+	payload = append(payload, member.EncodeOrderInfo(g.orderInfo())...)
 	_ = g.stack.node.Send(m.From, &types.Message{
 		Kind:    types.KindViewFlushAck,
 		Group:   g.id,
 		View:    m.View,
 		Corr:    m.Corr,
-		Payload: member.EncodeCut(g.copyRecvSeq()),
+		Payload: payload,
 	})
 }
 
@@ -445,9 +688,12 @@ func (g *Group) onViewFlushAck(m *types.Message) {
 	if g.flush == nil || m.Corr != g.flush.Corr {
 		return
 	}
-	cut, _, ok := member.DecodeCut(m.Payload)
+	cut, rest, ok := member.DecodeCut(m.Payload)
 	if !ok {
 		return
+	}
+	if oi, _, ok := member.DecodeOrderInfo(rest); ok {
+		g.flush.NoteOrder(m.From, oi)
 	}
 	if g.flush.Ack(m.From, cut) {
 		g.finishFlush()
@@ -466,7 +712,8 @@ func (g *Group) onViewInstall(m *types.Message) {
 	if err != nil {
 		return
 	}
-	cut, _, _ := member.DecodeCut(rest)
+	cut, rest, _ := member.DecodeCut(rest)
+	abCut, _, _ := types.DecodeUint64(rest)
 
 	if g.joined && v.ID <= g.view.ID {
 		return // stale install
@@ -477,20 +724,19 @@ func (g *Group) onViewInstall(m *types.Message) {
 		g.markLeft()
 		return
 	}
-	if g.joined && !g.cutSatisfied(cut) {
-		// Hold the install until the delivery cut is reached, with a grace
-		// timeout so message loss cannot wedge the group forever.
-		g.pending = &pendingInstall{view: v, cut: cut}
-		vid := v.ID
-		g.stack.node.After(g.cfg.InstallGrace, func() {
-			if g.pending != nil && g.pending.view.ID == vid {
-				p := g.pending
-				g.pending = nil
-				g.install(p.view, p.cut)
-			}
-		})
+	g.lastInstallView = v.ID
+	g.lastInstallPayload = append([]byte(nil), m.Payload...)
+	if g.joined && v.ID == g.view.ID+1 {
+		// Replay casts parked during the wedge up to the cut; anything
+		// beyond it belongs to no survivor's acknowledged prefix and is
+		// discarded, so no member's delivered set can exceed the cut.
+		g.applyParked(cut)
+		g.holdOrInstall(v, cut, abCut)
 		return
 	}
+	// Skipping ahead (we missed an intermediate install): the cut describes
+	// a view we never saw, so parked casts cannot be interpreted against it.
+	g.parked = nil
 	g.install(v, cut)
 }
 
@@ -500,28 +746,43 @@ func (g *Group) onStateTransfer(m *types.Message) {
 	}
 }
 
-func (g *Group) cutSatisfied(cut map[types.ProcessID]uint64) bool {
+// cutSatisfied reports whether this member holds every cast the install's
+// delivery cut demands. The cut aggregates contiguous-receive watermarks, so
+// every sequence in it is held by at least one survivor and recoverable by
+// flush forwarding and NAKs — which is why failed senders are NOT skipped:
+// their casts are exactly what flush forwarding recovers, and waiting for
+// them is what makes survivors agree on the dead sender's delivered set.
+// abCut additionally requires the re-announced ABCAST prefix to be fully
+// delivered before the view closes.
+func (g *Group) cutSatisfied(cut map[types.ProcessID]uint64, abCut uint64) bool {
 	for sender, seq := range cut {
 		if sender == g.stack.node.PID() {
 			continue // we have trivially seen our own traffic
 		}
-		if g.suspected[sender] {
-			continue // cannot wait on a failed sender's missing traffic
-		}
-		if g.recvSeq[sender] < seq {
+		if g.rel == nil || g.rel.Ctg(sender) < seq {
 			return false
 		}
+	}
+	if abCut > 0 && g.total != nil && g.total.NextSeq() <= abCut {
+		return false
 	}
 	return true
 }
 
-func (g *Group) copyRecvSeq() map[types.ProcessID]uint64 {
-	out := make(map[types.ProcessID]uint64, len(g.recvSeq)+1)
-	for k, v := range g.recvSeq {
-		out[k] = v
+// applyParked replays the casts parked while wedged, up to the delivery
+// cut, through the normal receive path (without sequencing: the closing
+// view's agreed order is frozen by the flush). Casts beyond the cut are
+// discarded — no acknowledged survivor holds them, so delivering them here
+// would break set agreement.
+func (g *Group) applyParked(cut map[types.ProcessID]uint64) {
+	parked := g.parked
+	g.parked = nil
+	for _, m := range parked {
+		if m.View != g.view.ID || m.ID.Seq > cut[m.ID.Sender] {
+			continue
+		}
+		g.processCast(m, false, false)
 	}
-	out[g.stack.node.PID()] = g.sendSeq
-	return out
 }
 
 // --- multicast ----------------------------------------------------------------
@@ -591,6 +852,11 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 			msg.Seq = g.seqr.Assign()
 		}
 	}
+	// Piggyback our receive watermarks and delivered ABCAST prefix: the
+	// receivers aggregate every member's report into the stability watermark
+	// that bounds retransmit buffers and the ordering engines' memory.
+	msg.Stab = g.rel.StabVector()
+	msg.StabOrd = g.total.NextSeq()
 
 	need := g.cfg.Resiliency
 	if max := g.view.Size() - 1; need > max {
@@ -621,23 +887,48 @@ func (g *Group) onCast(m *types.Message) {
 		}
 		return
 	}
-	self := g.stack.node.PID()
-	if m.ID.Seq > g.recvSeq[m.ID.Sender] {
-		g.recvSeq[m.ID.Sender] = m.ID.Seq
+	g.ingestStab(m)
+	if g.wedged && m.From != g.stack.node.PID() {
+		if g.pending != nil && m.ID.Seq <= g.pending.cut[m.ID.Sender] {
+			// Below the announced cut: process it so the install can
+			// complete (sequencing stays frozen during the flush).
+			g.processCast(m, false, true)
+			g.recheckPendingInstall()
+			return
+		}
+		// A view change is in progress and no cut is known yet: park the
+		// cast. Delivering it eagerly could exceed the eventual cut at this
+		// member only, breaking set agreement; the install replays parked
+		// casts up to the cut and discards the rest.
+		g.parked = append(g.parked, m)
+		g.ackCast(m)
+		return
 	}
-	// Acknowledge receipt for the sender's resiliency accounting.
-	if m.From != self && m.Corr != 0 {
-		_ = g.stack.node.Send(m.From, &types.Message{
-			Kind:  types.KindCastAck,
-			Group: g.id,
-			View:  m.View,
-			Corr:  m.Corr,
-		})
+	g.processCast(m, true, true)
+	g.recheckPendingInstall()
+}
+
+// processCast runs the receive path for one current-view cast: duplicate
+// filtering and buffering in the reliability tracker, the receipt
+// acknowledgement, sequencing (when allowed) and the ordering engines.
+func (g *Group) processCast(m *types.Message, allowSequence, ack bool) {
+	if !g.rel.Note(m) {
+		// Already held (network duplicate or a retransmission of something
+		// we have): re-acknowledge — the ack may have been lost — and drop.
+		// This receive-side filter is what lets the ordering engines prune
+		// their duplicate-suppression state to the unstable suffix.
+		if ack {
+			g.ackCast(m)
+		}
+		return
+	}
+	if ack {
+		g.ackCast(m)
 	}
 	// The sequencer assigns the total order for casts that need one. The
-	// Ordered check keeps a network-duplicated cast from being sequenced a
-	// second time (which would deliver it twice everywhere).
-	if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil && !g.total.Ordered(m.ID) {
+	// Ordered check keeps an already-sequenced retransmission from being
+	// sequenced a second time (which would deliver it twice everywhere).
+	if allowSequence && m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil && !g.total.Ordered(m.ID) {
 		seq := g.seqr.Assign()
 		orderMsg := &types.Message{
 			Kind:  types.KindOrder,
@@ -666,16 +957,50 @@ func (g *Group) onCast(m *types.Message) {
 	for _, d := range deliverable {
 		g.deliver(d)
 	}
-	g.recheckPendingInstall()
+}
+
+// ackCast acknowledges receipt for the sender's resiliency accounting,
+// piggybacking this member's stability report.
+func (g *Group) ackCast(m *types.Message) {
+	if m.From == g.stack.node.PID() || m.Corr == 0 {
+		return
+	}
+	_ = g.stack.node.Send(m.From, &types.Message{
+		Kind:    types.KindCastAck,
+		Group:   g.id,
+		View:    m.View,
+		Corr:    m.Corr,
+		Stab:    g.rel.StabVector(),
+		StabOrd: g.total.NextSeq(),
+	})
+}
+
+// ingestStab folds a piggybacked (or standalone) stability report into the
+// tracker and prunes the total-order engine's delivered bookkeeping to the
+// group-wide stable prefix.
+func (g *Group) ingestStab(m *types.Message) {
+	if len(m.Stab) == 0 && m.StabOrd == 0 {
+		return
+	}
+	if !g.joined || m.View != g.view.ID || g.rel == nil {
+		return
+	}
+	var ord uint64
+	if m.StabOrd > 0 {
+		ord = m.StabOrd - 1
+	}
+	g.rel.Report(m.From, m.Stab, ord)
+	g.total.SetStable(g.rel.StableOrd(g.total.NextSeq() - 1))
 }
 
 // onCastBatch is the batch-frame form of onCast: per-message bookkeeping
-// (receive watermark, acknowledgement, sequencing) runs in one loop, then
+// (reliability tracking, acknowledgement, sequencing) runs in one loop, then
 // each ordering engine accepts its sub-batch and releases deliveries in one
 // pass, and the pending-install cut is rechecked once for the whole frame.
 // The acknowledgements and order announcements it sends coalesce in the
 // node's outbox, so a frame of casts is answered by (at most) a frame of
-// acks rather than one transmission each.
+// acks rather than one transmission each. Wedged groups fall back to the
+// per-message path, which owns the parking rules.
 func (g *Group) onCastBatch(ms []*types.Message) {
 	if len(ms) == 1 {
 		g.onCast(ms[0])
@@ -684,25 +1009,23 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 	if g.closed {
 		return
 	}
+	if g.wedged {
+		for _, m := range ms {
+			g.onCast(m)
+		}
+		return
+	}
 	self := g.stack.node.PID()
 
 	// byOrdering[o] collects the current-view casts for engine o; anything
 	// outside the known orderings is delivered directly, like onCast does.
 	var byOrdering [4][]*types.Message
 	var direct []*types.Message
-	// One backing allocation for the whole frame's acknowledgements; the
-	// append never exceeds the fixed capacity, so the pointers handed to
+	// Acknowledgements are collected and sent after the loop so they all
+	// carry the frame's final stability report; one backing allocation, and
+	// the append never exceeds the fixed capacity, so the pointers handed to
 	// Send stay stable.
 	ackBlock := make([]types.Message, 0, len(ms))
-	// The receive watermark is written back once per sender run rather than
-	// once per message (frames are virtually always single-sender).
-	var wmSender types.ProcessID
-	var wmSeq uint64
-	flushWatermark := func() {
-		if wmSeq > 0 && wmSeq > g.recvSeq[wmSender] {
-			g.recvSeq[wmSender] = wmSeq
-		}
-	}
 	for _, m := range ms {
 		if !g.joined || m.View != g.view.ID {
 			if m.View > g.view.ID || !g.joined {
@@ -712,25 +1035,24 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 			}
 			continue
 		}
-		if m.ID.Sender != wmSender {
-			flushWatermark()
-			wmSender, wmSeq = m.ID.Sender, 0
-		}
-		if m.ID.Seq > wmSeq {
-			wmSeq = m.ID.Seq
-		}
-		// Acknowledge receipt for the sender's resiliency accounting.
+		g.ingestStab(m)
+		fresh := g.rel.Note(m)
+		// Acknowledge receipt (duplicates re-acknowledge: the first ack may
+		// have been the casualty).
 		if m.From != self && m.Corr != 0 {
 			ackBlock = append(ackBlock, types.Message{
 				Kind:  types.KindCastAck,
+				To:    m.From, // destination, re-stamped by Send
 				Group: g.id,
 				View:  m.View,
 				Corr:  m.Corr,
 			})
-			_ = g.stack.node.Send(m.From, &ackBlock[len(ackBlock)-1])
+		}
+		if !fresh {
+			continue // already held: a network duplicate or retransmission
 		}
 		// The sequencer assigns the total order for casts that need one,
-		// skipping network-duplicated casts it has already sequenced.
+		// skipping casts it has already sequenced.
 		if m.Ordering == types.Total && m.Seq == 0 && g.seqr != nil && !g.total.Ordered(m.ID) {
 			seq := g.seqr.Assign()
 			orderMsg := &types.Message{
@@ -752,7 +1074,6 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 			direct = append(direct, m)
 		}
 	}
-	flushWatermark()
 	for _, d := range direct {
 		g.deliver(d)
 	}
@@ -771,10 +1092,22 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 			g.deliver(d)
 		}
 	}
+	// One stability report for the whole frame, shared (read-only) by every
+	// acknowledgement.
+	if len(ackBlock) > 0 {
+		stab := g.rel.StabVector()
+		ord := g.total.NextSeq()
+		for i := range ackBlock {
+			ackBlock[i].Stab = stab
+			ackBlock[i].StabOrd = ord
+			_ = g.stack.node.Send(ackBlock[i].To, &ackBlock[i])
+		}
+	}
 	g.recheckPendingInstall()
 }
 
 func (g *Group) onCastAck(m *types.Message) {
+	g.ingestStab(m)
 	w, ok := g.acks[m.Corr]
 	if !ok {
 		return
@@ -839,7 +1172,7 @@ func (g *Group) recheckPendingInstall() {
 	if g.pending == nil {
 		return
 	}
-	if g.cutSatisfied(g.pending.cut) {
+	if g.cutSatisfied(g.pending.cut, g.pending.abCut) {
 		p := g.pending
 		g.pending = nil
 		g.install(p.view, p.cut)

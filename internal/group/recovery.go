@@ -1,0 +1,282 @@
+package group
+
+import (
+	"repro/internal/order"
+	"repro/internal/reliability"
+	"repro/internal/types"
+)
+
+// This file drives the reliability layer's active recovery: the per-group
+// timer that turns tracked gaps into NAKs, the handlers that serve
+// retransmissions from any live holder, and the stability reports that keep
+// buffers and ordering-engine memory bounded. All functions run on the
+// node's actor goroutine.
+
+// onRecoveryTick is the per-group recovery heartbeat (period
+// Config.Reliability.NakInterval). Each tick it:
+//
+//   - re-requests a view install the member never received (the wedge would
+//     otherwise outlive the view change);
+//   - NAKs the casts and ABCAST bindings a pending install's delivery cut
+//     still misses;
+//   - NAKs steady-state receive gaps that have outlived one tick (younger
+//     gaps are usually just out-of-order arrival);
+//   - emits a standalone stability report when traffic is too idle for the
+//     piggybacked ones to circulate.
+func (g *Group) onRecoveryTick() {
+	if g.closed || !g.joined || g.rel == nil {
+		return
+	}
+	rcfg := g.cfg.Reliability
+
+	// Keep stability advancing even when no reports arrive (sole member,
+	// idle group), and keep the total-order engine pruned.
+	g.rel.Advance()
+	g.total.SetStable(g.rel.StableOrd(g.total.NextSeq() - 1))
+
+	// Wedged with no install in sight: ask a member that moved on.
+	if g.wedged && g.pending == nil && g.proposedView > g.view.ID && g.flush == nil {
+		g.sendViewNak()
+	}
+
+	if rcfg.DisableRetransmit {
+		return
+	}
+
+	if g.pending != nil {
+		// A pending install names exactly what we are missing.
+		g.sendNaks(g.rel.MissingBelow(g.pending.cut))
+		if g.pending.abCut > 0 && g.total.NextSeq() <= g.pending.abCut {
+			g.sendOrderNak()
+		}
+		return
+	}
+
+	// Steady-state gap repair.
+	if g.rel.GapTick() >= rcfg.NakTicks {
+		g.sendNaks(g.rel.Missing())
+	}
+
+	// ABCAST data waiting for (or bindings waiting for data of) agreed
+	// slots: after a persistent stall, ask for the announcements we may
+	// have lost.
+	if g.total.Pending() > 0 {
+		g.ordGapTicks++
+	} else {
+		g.ordGapTicks = 0
+	}
+	if g.ordGapTicks > rcfg.NakTicks {
+		g.sendOrderNak()
+	}
+
+	// Standalone stability report while unstable casts are buffered, so an
+	// idle group's buffers still drain.
+	g.stabTicks++
+	if g.stabTicks >= rcfg.StabilityTicks {
+		g.stabTicks = 0
+		if g.rel.Buffered() > 0 {
+			g.sendStability()
+		}
+	}
+}
+
+// sendNaks asks a (rotating) holder for each missing range. One NAK message
+// per target carries every range routed to it.
+func (g *Group) sendNaks(missing []reliability.SeqRange) {
+	if len(missing) == 0 {
+		return
+	}
+	excluded := func(p types.ProcessID) bool { return g.suspected[p] }
+	byTarget := make(map[types.ProcessID][]reliability.SeqRange)
+	for _, r := range missing {
+		target := g.rel.NakTarget(r.Sender, excluded)
+		if target.IsNil() {
+			continue
+		}
+		byTarget[target] = append(byTarget[target], r)
+	}
+	for target, ranges := range byTarget {
+		_ = g.stack.node.Send(target, &types.Message{
+			Kind:    types.KindNak,
+			Group:   g.id,
+			View:    g.view.ID,
+			Payload: reliability.EncodeNak(ranges),
+		})
+		g.relStats.NaksSent++
+	}
+}
+
+// sendOrderNak asks for ABCAST order announcements above our delivered
+// prefix, rotating over the view (coordinator — the sequencer — first, but
+// any member that delivered further can answer from its binding log).
+func (g *Group) sendOrderNak() {
+	var candidates []types.ProcessID
+	self := g.stack.node.PID()
+	for _, p := range g.view.Members {
+		if p != self && !g.suspected[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	target := candidates[g.viewNakRR%len(candidates)]
+	g.viewNakRR++
+	_ = g.stack.node.Send(target, &types.Message{
+		Kind:    types.KindNakOrder,
+		Group:   g.id,
+		View:    g.view.ID,
+		Payload: types.EncodeUint64(nil, g.total.NextSeq()-1),
+	})
+	g.relStats.OrderNaksSent++
+}
+
+// sendStability multicasts a standalone stability report (piggybacked
+// reports cover this while casts flow).
+func (g *Group) sendStability() {
+	template := &types.Message{
+		Kind:    types.KindStability,
+		Group:   g.id,
+		View:    g.view.ID,
+		Stab:    g.rel.StabVector(),
+		StabOrd: g.total.NextSeq(),
+	}
+	g.stack.node.SendCopies(g.view.Members, template)
+}
+
+// sendViewNak asks a member that (presumably) installed the proposed view to
+// re-send the install we never received, rotating over the view so a dead
+// proposer cannot wedge us forever.
+func (g *Group) sendViewNak() {
+	self := g.stack.node.PID()
+	candidates := make([]types.ProcessID, 0, g.view.Size())
+	if !g.proposeFrom.IsNil() && g.proposeFrom != self && !g.suspected[g.proposeFrom] {
+		candidates = append(candidates, g.proposeFrom)
+	}
+	for _, p := range g.view.Members {
+		if p != self && p != g.proposeFrom && !g.suspected[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	target := candidates[g.viewNakRR%len(candidates)]
+	g.viewNakRR++
+	// Ask for the next install after our current view — not the proposed
+	// view we heard about, which may be several installs ahead and not yet
+	// formed anywhere. Members serve their latest install, and skip-ahead
+	// installs are handled by the install path.
+	_ = g.stack.node.Send(target, &types.Message{
+		Kind:  types.KindViewNak,
+		Group: g.id,
+		View:  g.view.ID + 1,
+	})
+}
+
+// onNak serves a retransmission request from this member's buffers — the
+// requester's current view may be the one we just left, which is why the
+// previous view's tracker is retained for one view change.
+func (g *Group) onNak(m *types.Message) {
+	if g.closed || g.cfg.Reliability.DisableRetransmit {
+		return
+	}
+	var tr *reliability.Tracker
+	switch {
+	case g.joined && m.View == g.view.ID:
+		tr = g.rel
+	case m.View == g.prevViewID:
+		tr = g.prevRel
+	}
+	if tr == nil {
+		return
+	}
+	ranges, ok := reliability.DecodeNak(m.Payload)
+	if !ok {
+		return
+	}
+	budget := g.cfg.Reliability.MaxRetransmit
+	for _, r := range ranges {
+		if budget <= 0 {
+			break
+		}
+		for _, held := range tr.Retrieve(r, budget) {
+			c := held.Clone()
+			// No resiliency correlation (the retransmitter must not collect
+			// acks in its own correlation space) and no stale stability
+			// report attributed to the wrong process.
+			c.Corr = 0
+			c.Stab, c.StabOrd = nil, 0
+			_ = g.stack.node.Send(m.From, c)
+			g.relStats.NaksServed++
+			budget--
+		}
+	}
+}
+
+// onNakOrder answers with the ABCAST bindings we retain above the
+// requester's delivered prefix.
+func (g *Group) onNakOrder(m *types.Message) {
+	if g.closed || g.cfg.Reliability.DisableRetransmit {
+		return
+	}
+	var tt *order.Total
+	switch {
+	case g.joined && m.View == g.view.ID:
+		tt = g.total
+	case m.View == g.prevViewID:
+		tt = g.prevTotal
+	}
+	if tt == nil {
+		return
+	}
+	from, _, ok := types.DecodeUint64(m.Payload)
+	if !ok {
+		return
+	}
+	budget := g.cfg.Reliability.MaxRetransmit
+	for _, b := range tt.Bindings(from) {
+		if budget <= 0 {
+			break
+		}
+		_ = g.stack.node.Send(m.From, &types.Message{
+			Kind:  types.KindOrder,
+			Group: g.id,
+			View:  m.View,
+			ID:    b.ID,
+			Seq:   b.Seq,
+		})
+		g.relStats.OrderNaksServed++
+		budget--
+	}
+}
+
+// onStability ingests a standalone stability report.
+func (g *Group) onStability(m *types.Message) {
+	if g.closed {
+		return
+	}
+	g.ingestStab(m)
+}
+
+// onViewNak re-serves the last install we processed to a member whose copy
+// was lost.
+func (g *Group) onViewNak(m *types.Message) {
+	if g.closed || g.lastInstallPayload == nil || g.lastInstallView < m.View {
+		return
+	}
+	_ = g.stack.node.Send(m.From, &types.Message{
+		Kind:    types.KindViewInstall,
+		Group:   g.id,
+		View:    g.lastInstallView,
+		Payload: g.lastInstallPayload,
+	})
+}
+
+// ReliabilityStats returns the group's cumulative recovery counters. Safe
+// from any goroutine.
+func (g *Group) ReliabilityStats() reliability.Stats {
+	var s reliability.Stats
+	_ = g.stack.node.Call(func() { s = g.relStats })
+	return s
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fdetect"
 	"repro/internal/member"
 	"repro/internal/node"
+	"repro/internal/reliability"
 	"repro/internal/types"
 )
 
@@ -51,7 +52,24 @@ func NewStack(n *node.Node, det *fdetect.Detector) *Stack {
 	n.HandleBatch(types.KindCast, s.routeCastBatch)
 	n.Handle(types.KindCastAck, s.route((*Group).onCastAck))
 	n.Handle(types.KindOrder, s.route((*Group).onOrder))
+	n.Handle(types.KindNak, s.route((*Group).onNak))
+	n.Handle(types.KindNakOrder, s.route((*Group).onNakOrder))
+	n.Handle(types.KindStability, s.route((*Group).onStability))
+	n.Handle(types.KindViewNak, s.route((*Group).onViewNak))
 	return s
+}
+
+// ReliabilityStats sums the recovery counters of every group this process
+// belongs to (or ever belonged to in this stack's lifetime — counters are
+// cumulative per group object).
+func (s *Stack) ReliabilityStats() reliability.Stats {
+	var out reliability.Stats
+	_ = s.node.Call(func() {
+		for _, g := range s.groups {
+			out.Add(g.relStats)
+		}
+	})
+	return out
 }
 
 // Node returns the node this stack is bound to.

@@ -1,6 +1,8 @@
 package member
 
 import (
+	"sort"
+
 	"repro/internal/types"
 )
 
@@ -16,7 +18,20 @@ type FlushTracker struct {
 	Corr     uint64
 
 	waitingOn map[types.ProcessID]bool
-	cut       map[types.ProcessID]uint64 // per-sender maximum delivered seq
+	cut       map[types.ProcessID]uint64 // per-sender contiguous-received cut
+	ords      map[types.ProcessID]OrderInfo
+}
+
+// OrderInfo is one member's ABCAST state reported in its flush
+// acknowledgement: its next undelivered agreed slot, every binding it still
+// retains (delivered history above the stability watermark plus undelivered
+// announcements), and the ids it holds data for with no slot assigned. The
+// coordinator merges these to re-announce the order during sequencer
+// failover.
+type OrderInfo struct {
+	Next      uint64
+	Bindings  []types.SeqBinding
+	Unordered []types.MsgID
 }
 
 // NewFlushTracker starts tracking a proposed view change. waitFor is the set
@@ -47,6 +62,77 @@ func (ft *FlushTracker) Ack(p types.ProcessID, delivered map[types.ProcessID]uin
 		}
 	}
 	return ft.Complete()
+}
+
+// NoteOrder records the ABCAST order information carried by p's flush
+// acknowledgement (call it before Ack, which may complete the flush).
+func (ft *FlushTracker) NoteOrder(p types.ProcessID, oi OrderInfo) {
+	if ft.ords == nil {
+		ft.ords = make(map[types.ProcessID]OrderInfo)
+	}
+	ft.ords[p] = oi
+}
+
+// MergedOrder combines the acknowledging members' ABCAST reports for the
+// sequencer-failover re-announcement:
+//
+//   - reannounce is every binding known to any survivor for a slot some
+//     survivor has not delivered yet (slot ≥ the minimum reported Next) —
+//     re-sending these lets members that missed the dead sequencer's
+//     announcements catch up to the agreed order;
+//   - unbound is every id some survivor holds data for with no slot bound
+//     anywhere — the casts whose announcements died with the sequencer; the
+//     new coordinator assigns them fresh slots starting at lastSlot+1;
+//   - lastSlot is the highest slot the old sequencer provably used (the
+//     maximum over reported bindings and delivered prefixes).
+//
+// Within one view there is a single sequencer, so reported bindings can
+// never conflict; later reports for the same slot are identical.
+func (ft *FlushTracker) MergedOrder() (reannounce []types.SeqBinding, unbound []types.MsgID, lastSlot uint64) {
+	if len(ft.ords) == 0 {
+		return nil, nil, 0
+	}
+	bound := make(map[types.MsgID]bool)
+	bySlot := make(map[uint64]types.MsgID)
+	minNext := uint64(0)
+	first := true
+	for _, oi := range ft.ords {
+		if first || oi.Next < minNext {
+			minNext, first = oi.Next, false
+		}
+		if oi.Next > 0 && oi.Next-1 > lastSlot {
+			lastSlot = oi.Next - 1
+		}
+		for _, b := range oi.Bindings {
+			bound[b.ID] = true
+			bySlot[b.Seq] = b.ID
+			if b.Seq > lastSlot {
+				lastSlot = b.Seq
+			}
+		}
+	}
+	seen := make(map[types.MsgID]bool)
+	for _, oi := range ft.ords {
+		for _, id := range oi.Unordered {
+			if !bound[id] && !seen[id] {
+				seen[id] = true
+				unbound = append(unbound, id)
+			}
+		}
+	}
+	sort.Slice(unbound, func(i, j int) bool {
+		if unbound[i].Sender != unbound[j].Sender {
+			return unbound[i].Sender.Less(unbound[j].Sender)
+		}
+		return unbound[i].Seq < unbound[j].Seq
+	})
+	for seq, id := range bySlot {
+		if seq >= minNext {
+			reannounce = append(reannounce, types.SeqBinding{Seq: seq, ID: id})
+		}
+	}
+	sort.Slice(reannounce, func(i, j int) bool { return reannounce[i].Seq < reannounce[j].Seq })
+	return reannounce, unbound, lastSlot
 }
 
 // Drop removes a process from the awaited set (it failed during the view
@@ -95,6 +181,85 @@ func EncodeCut(cut map[types.ProcessID]uint64) []byte {
 		b = types.EncodeUint64(b, cut[p])
 	}
 	return b
+}
+
+// EncodeOrderInfo serialises a member's ABCAST flush report (appended to the
+// delivery cut in flush acknowledgements).
+func EncodeOrderInfo(oi OrderInfo) []byte {
+	b := types.EncodeUint64(nil, oi.Next)
+	b = types.EncodeUint64(b, uint64(len(oi.Bindings)))
+	for _, bd := range oi.Bindings {
+		b = types.EncodeUint64(b, bd.Seq)
+		b = encodeMsgID(b, bd.ID)
+	}
+	b = types.EncodeUint64(b, uint64(len(oi.Unordered)))
+	for _, id := range oi.Unordered {
+		b = encodeMsgID(b, id)
+	}
+	return b
+}
+
+// DecodeOrderInfo parses an ABCAST flush report, returning the remaining
+// bytes.
+func DecodeOrderInfo(b []byte) (OrderInfo, []byte, bool) {
+	var oi OrderInfo
+	var ok bool
+	if oi.Next, b, ok = types.DecodeUint64(b); !ok {
+		return oi, b, false
+	}
+	n, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return oi, b, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var bd types.SeqBinding
+		if bd.Seq, b, ok = types.DecodeUint64(b); !ok {
+			return oi, b, false
+		}
+		if bd.ID, b, ok = decodeMsgID(b); !ok {
+			return oi, b, false
+		}
+		oi.Bindings = append(oi.Bindings, bd)
+	}
+	if n, b, ok = types.DecodeUint64(b); !ok {
+		return oi, b, false
+	}
+	for i := uint64(0); i < n; i++ {
+		var id types.MsgID
+		if id, b, ok = decodeMsgID(b); !ok {
+			return oi, b, false
+		}
+		oi.Unordered = append(oi.Unordered, id)
+	}
+	return oi, b, true
+}
+
+func encodeMsgID(b []byte, id types.MsgID) []byte {
+	b = types.EncodeUint64(b, uint64(id.Sender.Site))
+	b = types.EncodeUint64(b, uint64(id.Sender.Incarnation))
+	b = types.EncodeUint64(b, uint64(id.Sender.Index))
+	return types.EncodeUint64(b, id.Seq)
+}
+
+func decodeMsgID(b []byte) (types.MsgID, []byte, bool) {
+	var site, inc, idx, seq uint64
+	var ok bool
+	if site, b, ok = types.DecodeUint64(b); !ok {
+		return types.MsgID{}, b, false
+	}
+	if inc, b, ok = types.DecodeUint64(b); !ok {
+		return types.MsgID{}, b, false
+	}
+	if idx, b, ok = types.DecodeUint64(b); !ok {
+		return types.MsgID{}, b, false
+	}
+	if seq, b, ok = types.DecodeUint64(b); !ok {
+		return types.MsgID{}, b, false
+	}
+	return types.MsgID{
+		Sender: types.ProcessID{Site: types.SiteID(site), Incarnation: uint32(inc), Index: uint32(idx)},
+		Seq:    seq,
+	}, b, true
 }
 
 // DecodeCut parses a delivery cut serialised by EncodeCut, returning the

@@ -587,7 +587,7 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 // It mirrors the node outbox's batchable set.
 func dataPathKind(k types.Kind) bool {
 	switch k {
-	case types.KindCast, types.KindCastAck, types.KindOrder:
+	case types.KindCast, types.KindCastAck, types.KindOrder, types.KindStability:
 		return true
 	}
 	return false

@@ -44,16 +44,17 @@ func (b Batching) withDefaults() Batching {
 }
 
 // batchable reports whether a message kind rides the coalescing outbox.
-// Only the multicast data path qualifies: casts, their acknowledgements and
-// ABCAST order announcements are fire-and-forget (protocols recover from
-// their loss via acks, retries and failure detection), so reporting their
-// transport errors asynchronously is safe. Everything else — RPC,
-// membership, state transfer, heartbeats, hierarchy management — keeps the
-// synchronous direct path because callers act on its errors (contact
-// fallback in tree broadcast and leaf reports, dial errors on TCP).
+// Only the multicast data path qualifies: casts, their acknowledgements,
+// ABCAST order announcements and stability reports are fire-and-forget
+// (protocols recover from their loss via acks, NAKs, retries and failure
+// detection), so reporting their transport errors asynchronously is safe.
+// Everything else — RPC, membership, state transfer, heartbeats, hierarchy
+// management — keeps the synchronous direct path because callers act on its
+// errors (contact fallback in tree broadcast and leaf reports, dial errors
+// on TCP).
 func batchable(k types.Kind) bool {
 	switch k {
-	case types.KindCast, types.KindCastAck, types.KindOrder:
+	case types.KindCast, types.KindCastAck, types.KindOrder, types.KindStability:
 		return true
 	}
 	return false

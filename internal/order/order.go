@@ -273,16 +273,22 @@ type Total struct {
 	byID    map[types.MsgID]*types.Message // data waiting for an order
 	order   map[uint64]types.MsgID         // seq -> message id (from sequencer)
 	ready   map[uint64]*types.Message      // seq -> data, both parts present
-	ordered map[types.MsgID]bool           // ids with an agreed slot assigned
-	// done remembers every id delivered in this view. It is what lets the
-	// sequencer refuse to assign a second agreed slot to a very late
-	// network duplicate, so it cannot be pruned to a recency window without
-	// re-opening the double-sequencing hole — the cost is O(messages
-	// delivered per view) memory, reclaimed at every view change (engines
-	// are per-view). Bounding it for very long-lived views is a ROADMAP
-	// item (it needs a retransmission/stability layer to know which ids
-	// can no longer be duplicated).
-	done map[types.MsgID]bool
+	ordered map[types.MsgID]uint64         // undelivered id -> its agreed slot
+	// done maps every retained delivered id to its agreed slot. It lets the
+	// sequencer refuse to assign a second agreed slot to a late network
+	// duplicate. With the reliability layer's receive-side duplicate filter
+	// upstream (a cast below the stability watermark can never reach the
+	// engine again), ids whose slots every member has delivered are safe to
+	// forget: SetStable prunes done and the binding log to the unstable
+	// suffix, making the engine's memory O(unstable) instead of O(messages
+	// delivered per view).
+	done map[types.MsgID]uint64
+	// log records the delivered binding history slot by slot — log[i] is
+	// the id delivered at slot logBase+1+i — so flush acknowledgements and
+	// order NAK answers can re-supply bindings a slower member is missing.
+	// Pruned by SetStable together with done.
+	log     []types.MsgID
+	logBase uint64 // slot of log[0] minus one
 }
 
 // NewTotal returns an ABCAST engine.
@@ -292,8 +298,8 @@ func NewTotal() *Total {
 		byID:    make(map[types.MsgID]*types.Message),
 		order:   make(map[uint64]types.MsgID),
 		ready:   make(map[uint64]*types.Message),
-		ordered: make(map[types.MsgID]bool),
-		done:    make(map[types.MsgID]bool),
+		ordered: make(map[types.MsgID]uint64),
+		done:    make(map[types.MsgID]uint64),
 	}
 }
 
@@ -316,29 +322,25 @@ func (t *Total) AddBatch(msgs []*types.Message) []*types.Message {
 
 // insert files one data message without draining.
 func (t *Total) insert(msg *types.Message) {
-	if t.done[msg.ID] {
+	if _, dup := t.done[msg.ID]; dup {
 		return // duplicate of an already delivered message
 	}
-	if msg.Seq != 0 {
-		if t.ordered[msg.ID] {
-			return // duplicate of a sequenced cast already filed
+	if slot, bound := t.ordered[msg.ID]; bound {
+		// The id's binding is already known. If its data is still missing —
+		// the announcement arrived first, which happens for sequencer-
+		// stamped casts too when a failover re-announcement or an order-NAK
+		// answer beats the retransmitted data — file the data against the
+		// waiting slot; otherwise this is a duplicate copy.
+		if id, waiting := t.order[slot]; waiting && id == msg.ID {
+			t.ready[slot] = msg
+			delete(t.order, slot)
 		}
-		t.byID[msg.ID] = msg
-		t.insertOrder(msg.Seq, msg.ID)
 		return
 	}
-	// An order announcement may already be waiting for this data.
-	for seq, id := range t.order {
-		if id == msg.ID {
-			t.ready[seq] = msg
-			delete(t.order, seq)
-			return
-		}
-	}
-	if t.ordered[msg.ID] {
-		return // data already filed against its slot (duplicate copy)
-	}
 	t.byID[msg.ID] = msg
+	if msg.Seq != 0 {
+		t.insertOrder(msg.Seq, msg.ID)
+	}
 }
 
 // insertOrder files one order announcement without draining.
@@ -346,10 +348,13 @@ func (t *Total) insertOrder(seq uint64, id types.MsgID) {
 	if seq < t.nextSeq {
 		return // stale announcement
 	}
-	if t.done[id] || t.ordered[id] {
+	if _, delivered := t.done[id]; delivered {
+		return // the id already had its (single) agreed slot
+	}
+	if _, bound := t.ordered[id]; bound {
 		return // the id already has its (single) agreed slot
 	}
-	t.ordered[id] = true
+	t.ordered[id] = seq
 	if m, ok := t.byID[id]; ok {
 		t.ready[seq] = m
 		delete(t.byID, id)
@@ -378,7 +383,11 @@ func (t *Total) drain() []*types.Message {
 			break
 		}
 		delete(t.ready, t.nextSeq)
-		t.done[m.ID] = true
+		t.done[m.ID] = t.nextSeq
+		if len(t.log) == 0 {
+			t.logBase = t.nextSeq - 1
+		}
+		t.log = append(t.log, m.ID)
 		delete(t.ordered, m.ID)
 		m.Seq = t.nextSeq
 		out = append(out, m)
@@ -391,8 +400,76 @@ func (t *Total) drain() []*types.Message {
 // message id (sequenced, or already delivered). The sequencer consults it so
 // a network-duplicated cast can never be sequenced twice.
 func (t *Total) Ordered(id types.MsgID) bool {
-	return t.ordered[id] || t.done[id]
+	if _, bound := t.ordered[id]; bound {
+		return true
+	}
+	_, delivered := t.done[id]
+	return delivered
 }
+
+// SetStable prunes the delivered bookkeeping (done map and binding log) to
+// slots above ord, the group-wide stable ABCAST prefix: every member has
+// delivered 1..ord, so no member can ever need those bindings again, and —
+// because the reliability layer's receive-side duplicate filter rejects any
+// further copy of a stable cast before it reaches the engine — forgetting
+// their ids cannot re-open the double-sequencing hole.
+func (t *Total) SetStable(ord uint64) {
+	if ord <= t.logBase {
+		return
+	}
+	if max := t.logBase + uint64(len(t.log)); ord > max {
+		ord = max
+	}
+	n := ord - t.logBase
+	for _, id := range t.log[:n] {
+		delete(t.done, id)
+	}
+	t.log = append(t.log[:0:0], t.log[n:]...)
+	t.logBase = ord
+}
+
+// Bindings returns every binding the engine knows with slot > from, in slot
+// order: first the retained delivered history (the log), then undelivered
+// slots whose order announcement (and possibly data) has arrived. Flush
+// acknowledgements and order-NAK answers use it to re-supply bindings to
+// members that missed announcements.
+func (t *Total) Bindings(from uint64) []types.SeqBinding {
+	var out []types.SeqBinding
+	start := from
+	if start < t.logBase {
+		start = t.logBase
+	}
+	for i := start - t.logBase; i < uint64(len(t.log)); i++ {
+		out = append(out, types.SeqBinding{Seq: t.logBase + 1 + i, ID: t.log[i]})
+	}
+	for seq, id := range t.order {
+		if seq > from {
+			out = append(out, types.SeqBinding{Seq: seq, ID: id})
+		}
+	}
+	for seq, m := range t.ready {
+		if seq > from {
+			out = append(out, types.SeqBinding{Seq: seq, ID: m.ID})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// UnorderedIDs returns the ids of casts the engine holds data for with no
+// agreed slot yet — the casts a failed sequencer never announced, which the
+// new coordinator assigns fresh slots during failover.
+func (t *Total) UnorderedIDs() []types.MsgID {
+	out := make([]types.MsgID, 0, len(t.byID))
+	for id := range t.byID {
+		out = append(out, id)
+	}
+	return Sorted(out)
+}
+
+// Retained returns the sizes of the delivered bookkeeping (done map and
+// binding log) — the O(unstable) quantity SetStable bounds.
+func (t *Total) Retained() (done, log int) { return len(t.done), len(t.log) }
 
 // Pending implements Engine.
 func (t *Total) Pending() int { return len(t.byID) + len(t.ready) }

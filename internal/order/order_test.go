@@ -561,3 +561,118 @@ func TestTotalAddBatchEquivalence(t *testing.T) {
 		batchEquivalence(t, func() Engine { return NewTotal() }, stream, chunk)
 	}
 }
+
+// --- stability-bounded memory -------------------------------------------------
+
+// TestTotalStableWatermarkBoundsMemory pins the O(unstable) memory claim:
+// with SetStable tracking the delivered prefix, the engine's duplicate-
+// suppression state (done map and binding log) never grows past the
+// unstable window, no matter how many messages a view delivers.
+func TestTotalStableWatermarkBoundsMemory(t *testing.T) {
+	tot := NewTotal()
+	const total = 5000
+	const window = 64 // stability lag: watermark trails delivery by this much
+	maxDone, maxLog := 0, 0
+	for i := uint64(1); i <= total; i++ {
+		m := cast(p(1), i)
+		m.Ordering = types.Total
+		m.Seq = i // sequencer-stamped
+		out := tot.Add(m)
+		if len(out) != 1 || out[0].Seq != i {
+			t.Fatalf("slot %d: delivered %d messages", i, len(out))
+		}
+		if i > window {
+			tot.SetStable(i - window)
+		}
+		done, log := tot.Retained()
+		if done > maxDone {
+			maxDone = done
+		}
+		if log > maxLog {
+			maxLog = log
+		}
+	}
+	if maxDone > window+1 || maxLog > window+1 {
+		t.Errorf("retained state grew past the stability window: done=%d log=%d window=%d", maxDone, maxLog, window)
+	}
+	// Without SetStable the same run retains everything (the quantity the
+	// watermark exists to bound).
+	un := NewTotal()
+	for i := uint64(1); i <= total; i++ {
+		m := cast(p(1), i)
+		m.Ordering = types.Total
+		m.Seq = i
+		un.Add(m)
+	}
+	if done, log := un.Retained(); done != total || log != total {
+		t.Errorf("unpruned engine retained done=%d log=%d, want %d", done, log, total)
+	}
+}
+
+// TestTotalBindingsServeRetainedHistory pins the order-NAK answer source:
+// Bindings(from) must cover delivered history above the stability watermark
+// plus every undelivered announcement, in slot order.
+func TestTotalBindingsServeRetainedHistory(t *testing.T) {
+	tot := NewTotal()
+	for i := uint64(1); i <= 10; i++ {
+		m := cast(p(1), i)
+		m.Ordering = types.Total
+		m.Seq = i
+		tot.Add(m)
+	}
+	tot.SetStable(4)
+	tot.AddOrder(12, types.MsgID{Sender: p(2), Seq: 1}) // undelivered binding
+	bs := tot.Bindings(6)
+	want := []uint64{7, 8, 9, 10, 12}
+	if len(bs) != len(want) {
+		t.Fatalf("Bindings(6) = %v, want slots %v", bs, want)
+	}
+	for i, b := range bs {
+		if b.Seq != want[i] {
+			t.Fatalf("Bindings(6)[%d].Seq = %d, want %d", i, b.Seq, want[i])
+		}
+	}
+	if got := len(tot.Bindings(0)); got != 6+1 {
+		t.Errorf("Bindings(0) returned %d entries, want 7 (log 5..10 plus slot 12)", got)
+	}
+}
+
+// TestTotalSequencedDataFillsWaitingBinding is the regression test for the
+// failover interaction found by the chaos harness: a binding can reach a
+// member before the (sequencer-stamped, Seq != 0) data does — via a
+// failover re-announcement or an order-NAK answer — and the data copy must
+// then fill the waiting slot rather than be discarded as a duplicate.
+func TestTotalSequencedDataFillsWaitingBinding(t *testing.T) {
+	tot := NewTotal()
+	id := types.MsgID{Sender: p(1), Seq: 1}
+	if out := tot.AddOrder(1, id); len(out) != 0 {
+		t.Fatalf("binding alone delivered %d messages", len(out))
+	}
+	m := cast(p(1), 1)
+	m.Ordering = types.Total
+	m.Seq = 1 // the sequencer's own cast carries its slot
+	out := tot.Add(m)
+	if len(out) != 1 || out[0].ID != id {
+		t.Fatalf("sequencer-stamped data after its binding did not deliver: %v", out)
+	}
+	// And a further copy is still a duplicate.
+	if out := tot.Add(m.Clone()); len(out) != 0 {
+		t.Fatalf("duplicate copy delivered %d messages", len(out))
+	}
+}
+
+// TestTotalUnorderedIDs pins the failover input: ids with data but no slot.
+func TestTotalUnorderedIDs(t *testing.T) {
+	tot := NewTotal()
+	a := cast(p(2), 1)
+	a.Ordering = types.Total
+	tot.Add(a)
+	b := cast(p(1), 1)
+	b.Ordering = types.Total
+	b.Seq = 1
+	tot.Add(b) // bound and delivered
+	ids := tot.UnorderedIDs()
+	if len(ids) != 1 || ids[0] != a.ID {
+		t.Fatalf("UnorderedIDs = %v, want [%v]", ids, a.ID)
+	}
+}

@@ -1,0 +1,168 @@
+package reliability
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func pid(site uint32) types.ProcessID {
+	return types.ProcessID{Site: types.SiteID(site), Incarnation: 1}
+}
+
+func castFrom(sender types.ProcessID, seq uint64) *types.Message {
+	return &types.Message{
+		Kind:    types.KindCast,
+		ID:      types.MsgID{Sender: sender, Seq: seq},
+		Payload: []byte{byte(seq)},
+	}
+}
+
+func newTestTracker() *Tracker {
+	return NewTracker(pid(1), []types.ProcessID{pid(1), pid(2), pid(3)}, nil)
+}
+
+func TestTrackerNoteAdvancesWatermarkAndFiltersDuplicates(t *testing.T) {
+	tr := newTestTracker()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !tr.Note(castFrom(pid(2), seq)) {
+			t.Fatalf("first copy of seq %d reported duplicate", seq)
+		}
+	}
+	if got := tr.Ctg(pid(2)); got != 3 {
+		t.Fatalf("ctg = %d, want 3", got)
+	}
+	if tr.Note(castFrom(pid(2), 2)) {
+		t.Error("duplicate copy reported fresh")
+	}
+	if tr.Stats().Duplicates == 0 {
+		t.Error("duplicate not counted")
+	}
+}
+
+func TestTrackerGapsAreNakableAndRetrievable(t *testing.T) {
+	tr := newTestTracker()
+	tr.Note(castFrom(pid(2), 1))
+	tr.Note(castFrom(pid(2), 4)) // gap: 2,3 missing
+	if got := tr.Ctg(pid(2)); got != 1 {
+		t.Fatalf("ctg = %d, want 1 (gap)", got)
+	}
+	missing := tr.Missing()
+	if len(missing) != 1 || missing[0] != (SeqRange{Sender: pid(2), Lo: 2, Hi: 3}) {
+		t.Fatalf("Missing = %v, want [{p2 2 3}]", missing)
+	}
+	// A holder serves the buffered copies for a NAKed range.
+	held := tr.Retrieve(SeqRange{Sender: pid(2), Lo: 1, Hi: 4}, 10)
+	if len(held) != 2 {
+		t.Fatalf("Retrieve returned %d casts, want the 2 buffered ones", len(held))
+	}
+	// Round-trip the wire form.
+	dec, ok := DecodeNak(EncodeNak(missing))
+	if !ok || len(dec) != 1 || dec[0] != missing[0] {
+		t.Fatalf("EncodeNak/DecodeNak round trip: %v ok=%v", dec, ok)
+	}
+}
+
+func TestTrackerStabilityPrunesOnlyWhenAllReported(t *testing.T) {
+	tr := newTestTracker()
+	for seq := uint64(1); seq <= 4; seq++ {
+		tr.Note(castFrom(pid(2), seq))
+	}
+	if tr.Buffered() != 4 {
+		t.Fatalf("buffered %d, want 4", tr.Buffered())
+	}
+	// Only one of the two other members has reported: nothing is stable.
+	tr.Report(pid(2), []types.StabEntry{{Sender: pid(2), Seq: 4}}, 0)
+	if tr.Stable(pid(2)) != 0 || tr.Buffered() != 4 {
+		t.Fatalf("stability advanced with a member unheard from: stable=%d buffered=%d",
+			tr.Stable(pid(2)), tr.Buffered())
+	}
+	tr.Report(pid(3), []types.StabEntry{{Sender: pid(2), Seq: 2}}, 0)
+	if tr.Stable(pid(2)) != 2 {
+		t.Fatalf("stable = %d, want 2 (the minimum across members)", tr.Stable(pid(2)))
+	}
+	if tr.Buffered() != 2 {
+		t.Fatalf("buffered = %d, want 2 after pruning", tr.Buffered())
+	}
+	// A stale (reordered) report can never regress the watermark.
+	tr.Report(pid(3), []types.StabEntry{{Sender: pid(2), Seq: 1}}, 0)
+	if tr.Stable(pid(2)) != 2 {
+		t.Errorf("stale report regressed stability to %d", tr.Stable(pid(2)))
+	}
+	// A pruned (stable) cast is still recognised as a duplicate.
+	if tr.Note(castFrom(pid(2), 1)) {
+		t.Error("stable cast re-accepted as fresh")
+	}
+}
+
+func TestTrackerPeerReportsRevealUnseenTail(t *testing.T) {
+	// A peer reporting a higher watermark than anything we received turns a
+	// silent loss (every copy dropped) into a NAKable gap — the mechanism
+	// that converges terminal views on a crashed sender's tail.
+	tr := newTestTracker()
+	tr.Note(castFrom(pid(3), 1))
+	tr.Report(pid(2), []types.StabEntry{{Sender: pid(3), Seq: 3}}, 0)
+	missing := tr.Missing()
+	if len(missing) != 1 || missing[0] != (SeqRange{Sender: pid(3), Lo: 2, Hi: 3}) {
+		t.Fatalf("Missing = %v, want [{p3 2 3}]", missing)
+	}
+}
+
+func TestTrackerStableOrd(t *testing.T) {
+	tr := newTestTracker()
+	if got := tr.StableOrd(7); got != 0 {
+		t.Fatalf("StableOrd before any report = %d, want 0", got)
+	}
+	tr.Report(pid(2), nil, 5)
+	tr.Report(pid(3), nil, 9)
+	if got := tr.StableOrd(7); got != 5 {
+		t.Fatalf("StableOrd = %d, want 5 (minimum incl. own prefix)", got)
+	}
+	if got := tr.StableOrd(3); got != 3 {
+		t.Fatalf("StableOrd = %d, want own prefix 3", got)
+	}
+	solo := NewTracker(pid(1), []types.ProcessID{pid(1)}, nil)
+	if got := solo.StableOrd(4); got != 4 {
+		t.Fatalf("sole member StableOrd = %d, want own prefix", got)
+	}
+}
+
+func TestTrackerCutVectorHoldsOnlyContiguousPrefixes(t *testing.T) {
+	tr := newTestTracker()
+	tr.Note(castFrom(pid(2), 1))
+	tr.Note(castFrom(pid(2), 3)) // gap at 2
+	cut := tr.CutVector()
+	if cut[pid(2)] != 1 {
+		t.Fatalf("cut[p2] = %d, want the contiguous prefix 1, not max-seen 3", cut[pid(2)])
+	}
+}
+
+func TestTrackerUnstableIsTheForwardSet(t *testing.T) {
+	tr := newTestTracker()
+	for seq := uint64(1); seq <= 3; seq++ {
+		tr.Note(castFrom(pid(2), seq))
+	}
+	tr.Report(pid(2), []types.StabEntry{{Sender: pid(2), Seq: 1}}, 0)
+	tr.Report(pid(3), []types.StabEntry{{Sender: pid(2), Seq: 1}}, 0)
+	un := tr.Unstable()
+	if len(un) != 2 {
+		t.Fatalf("Unstable returned %d casts, want 2 (seq 2,3)", len(un))
+	}
+}
+
+func TestTrackerNakTargetRotatesAndSkipsExcluded(t *testing.T) {
+	tr := newTestTracker()
+	excl := map[types.ProcessID]bool{pid(2): true}
+	first := tr.NakTarget(pid(2), func(p types.ProcessID) bool { return excl[p] })
+	if first != pid(3) {
+		t.Fatalf("target = %v, want p3 (sender excluded)", first)
+	}
+	excl[pid(2)] = false
+	seen := map[types.ProcessID]bool{}
+	for i := 0; i < 4; i++ {
+		seen[tr.NakTarget(pid(2), nil)] = true
+	}
+	if !seen[pid(2)] || !seen[pid(3)] {
+		t.Errorf("rotation did not cover sender and peers: %v", seen)
+	}
+}

@@ -60,6 +60,12 @@ const (
 	KindTxnDecision
 	KindTaskAssign
 	KindTaskResult
+
+	// Reliability layer (message stability, NAK/retransmit, recovery).
+	KindNak       // receiver asks a holder to retransmit missing casts
+	KindNakOrder  // ABCAST member asks for order announcements it is missing
+	KindStability // periodic stability report (per-sender receive watermarks)
+	KindViewNak   // wedged member asks for a view install it never received
 )
 
 // String returns the symbolic name of the kind for logs and tests.
@@ -81,6 +87,8 @@ func (k Kind) String() string {
 		KindLockRequest:  "lock-request", KindLockGrant: "lock-grant", KindLockRelease: "lock-release",
 		KindTxnPrepare: "txn-prepare", KindTxnVote: "txn-vote", KindTxnDecision: "txn-decision",
 		KindTaskAssign: "task-assign", KindTaskResult: "task-result",
+		KindNak: "nak", KindNakOrder: "nak-order", KindStability: "stability",
+		KindViewNak: "view-nak",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -169,8 +177,36 @@ type Message struct {
 	// Payload is the opaque application or protocol body.
 	Payload []byte
 
+	// Stab piggybacks the sender's per-sender contiguous receive watermarks
+	// for Group/View on outgoing casts and acks. Receivers aggregate the
+	// reports of every member into a stability watermark (the minimum): a
+	// cast below it is held by every member and can be dropped from
+	// retransmit buffers and duplicate-suppression state. Absent (nil) on
+	// messages that carry no report.
+	Stab []StabEntry
+	// StabOrd is the sender's delivered ABCAST prefix plus one (so zero
+	// means "no report"), piggybacked with Stab. The minimum across members
+	// bounds the total-order engine's delivered bookkeeping.
+	StabOrd uint64
+
 	// Err carries an error string on negative replies.
 	Err string
+}
+
+// StabEntry is one per-sender receive watermark inside a stability report:
+// the reporting process has contiguously received Sender's casts 1..Seq in
+// the current view.
+type StabEntry struct {
+	Sender ProcessID
+	Seq    uint64
+}
+
+// SeqBinding is one ABCAST order binding: the agreed slot Seq is occupied by
+// the cast identified by ID. Flush acknowledgements and sequencer-failover
+// re-announcements carry lists of these.
+type SeqBinding struct {
+	Seq uint64
+	ID  MsgID
 }
 
 // WireSize returns an estimate of the encoded size of the message in bytes.
@@ -192,6 +228,8 @@ func (m *Message) WireSize() int {
 	n += 8 * len(m.VT)
 	n += 4 * len(m.Path)
 	n += len(m.Payload)
+	n += 20 * len(m.Stab) // per entry: ProcessID (12) + watermark (8)
+	n += 8                // StabOrd
 	n += len(m.Err)
 	return n
 }
@@ -208,6 +246,9 @@ func (m *Message) Clone() *Message {
 	}
 	if m.Payload != nil {
 		c.Payload = append([]byte(nil), m.Payload...)
+	}
+	if m.Stab != nil {
+		c.Stab = append([]StabEntry(nil), m.Stab...)
 	}
 	if m.Group.Path != nil {
 		c.Group.Path = append([]uint32(nil), m.Group.Path...)
@@ -232,6 +273,9 @@ func CloneFrame(msgs []*Message) []*Message {
 		}
 		if m.Payload != nil {
 			block[i].Payload = append([]byte(nil), m.Payload...)
+		}
+		if m.Stab != nil {
+			block[i].Stab = append([]StabEntry(nil), m.Stab...)
 		}
 		if m.Group.Path != nil {
 			block[i].Group.Path = append([]uint32(nil), m.Group.Path...)

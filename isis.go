@@ -39,6 +39,7 @@ import (
 	"repro/internal/naming"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/reliability"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -86,6 +87,14 @@ type (
 	// GroupObserver taps every view install and delivery of one process
 	// across all its flat groups (history recording, tracing).
 	GroupObserver = group.Observer
+	// ReliabilityConfig tunes the message-stability and NAK/retransmit
+	// layer of every group a process joins (NAK pacing, stability-report
+	// pacing, retransmission caps).
+	ReliabilityConfig = reliability.Config
+	// ReliabilityStats are a process's cumulative recovery counters
+	// (NAKs sent/served, flush forwarding, sequencer-failover
+	// re-announcements, stability pruning).
+	ReliabilityStats = reliability.Stats
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -129,12 +138,13 @@ var ErrWrongTransport = errors.New("isis: operation not supported by this runtim
 type Option func(*options)
 
 type options struct {
-	netsim     NetworkConfig
-	detector   DetectorConfig
-	batching   BatchingConfig
-	faults     []FaultEvent
-	fanout     int
-	resiliency int
+	netsim      NetworkConfig
+	detector    DetectorConfig
+	batching    BatchingConfig
+	reliability ReliabilityConfig
+	faults      []FaultEvent
+	fanout      int
+	resiliency  int
 }
 
 // WithNetwork fully configures the simulated network fabric (latency model,
@@ -194,6 +204,22 @@ func WithBatching(maxBatch int, window time.Duration) Option {
 // the baseline; real deployments have no reason to.
 func WithoutBatching() Option {
 	return func(o *options) { o.batching = BatchingConfig{Disable: true} }
+}
+
+// WithReliability tunes the message-stability and NAK/retransmit layer used
+// by every group the runtime's processes join (zero fields keep the
+// defaults). Recovery is on by default; WithReliability is only needed to
+// tune it.
+func WithReliability(cfg ReliabilityConfig) Option {
+	return func(o *options) { o.reliability = cfg }
+}
+
+// WithoutRetransmit disables the NAK/retransmit machinery, flush forwarding
+// and sequencer failover, restoring the pre-stability best-effort multicast.
+// The E11 experiment uses it as the lossy-network baseline; real deployments
+// have no reason to.
+func WithoutRetransmit() Option {
+	return func(o *options) { o.reliability = ReliabilityConfig{DisableRetransmit: true} }
 }
 
 // WithFaultPlan attaches a fault plan to a simulated runtime: a timeline of
@@ -500,6 +526,14 @@ func (p *Process) Stop() { p.boot.Stop() }
 // Stopped reports whether the process has been stopped.
 func (p *Process) Stopped() bool { return p.boot.Stopped() }
 
+// ReliabilityStats returns the process's cumulative recovery counters,
+// summed over all its flat groups: retransmissions asked for and served,
+// casts forwarded during view-change flushes, ABCAST bindings re-announced
+// by sequencer failover, and buffers released by stability.
+func (p *Process) ReliabilityStats() ReliabilityStats {
+	return p.boot.Stack.ReliabilityStats()
+}
+
 // ObserveGroups installs an observer tapping every flat-group view install
 // and delivery of this process (the zero GroupObserver removes it). Install
 // it before creating or joining groups whose events must not be missed. The
@@ -551,6 +585,9 @@ func (p *Process) NewResolver(directory ProcessID) *Resolver {
 func (p *Process) groupDefaults(cfg GroupConfig) GroupConfig {
 	if cfg.Resiliency == 0 && p.rt.opts.resiliency > 0 {
 		cfg.Resiliency = p.rt.opts.resiliency
+	}
+	if cfg.Reliability == (ReliabilityConfig{}) {
+		cfg.Reliability = p.rt.opts.reliability
 	}
 	return cfg
 }

@@ -6,11 +6,17 @@
 package isis_test
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/group"
 	"repro/internal/metrics"
 	"repro/internal/reliability"
+	"repro/internal/types"
 )
 
 func runTable(b *testing.B, f func(experiments.Scale) (*metrics.Table, error)) *metrics.Table {
@@ -128,4 +134,87 @@ func BenchmarkAblationOrdering(b *testing.B) {
 func BenchmarkE11LossyThroughput(b *testing.B) {
 	t := runTable(b, experiments.E11LossyThroughput)
 	b.ReportMetric(float64(t.Rows()), "rows")
+}
+
+// BenchmarkE12MemberScaling regenerates E12: delivered throughput and
+// acknowledgement volume vs group size, cumulative watermark acks against
+// the retired per-cast acks, plus the gob-vs-binary codec comparison. The
+// recorded table (BENCH_scaling.json) is this PR's perf trajectory; the
+// acceptance bar is a ≥5x ack-volume reduction at 16+ members.
+func BenchmarkE12MemberScaling(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t1, t2, err := experiments.E12MemberScaling(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = t1.Rows() + t2.Rows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkCastHotPath is the allocation-regression benchmark for the
+// broadcast hot path: one member of a warm 8-member group floods async FIFO
+// casts end to end (sender fan-out, outbox coalescing, batch intake,
+// ordering engine, delivery) and the benchmark reports allocations per
+// delivered cast. It exists to catch per-message allocation creep — compare
+// allocs/op against the previous run in CI's bench artifact.
+func BenchmarkCastHotPath(b *testing.B) {
+	const n = 8
+	c := cluster.MustNew(n, cluster.Options{})
+	defer c.Stop()
+
+	var delivered atomic.Int64
+	gid := types.FlatGroup("hotpath")
+	cfg := group.Config{OnDeliver: func(group.Delivery) { delivered.Add(1) }}
+	groups := make([]*group.Group, n)
+	var err error
+	groups[0], err = c.Proc(0).Stack.Create(gid, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 1; i < n; i++ {
+		if groups[i], err = c.Proc(i).Stack.Join(ctx, gid, c.Proc(0).ID, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !cluster.WaitForViewSize(30*time.Second, n, groups...) {
+		b.Fatal("group never converged")
+	}
+	payload := []byte("hot-path-payload-0123456789")
+
+	// Warm the path so steady state is what gets measured.
+	groups[0].CastAsync(types.FIFO, payload)
+	for delivered.Load() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Deadlined like runFloodLoad's loops: a wedged stream must fail the
+	// benchmark, not hang CI until the go test panic timeout.
+	deadline := time.Now().Add(60 * time.Second)
+	const window = 1024
+	base := delivered.Load()
+	want := base + int64(n)*int64(b.N)
+	for sent := int64(0); sent < int64(b.N); {
+		doneCasts := (delivered.Load() - base) / int64(n)
+		if sent-doneCasts >= window {
+			if time.Now().After(deadline) {
+				b.Fatalf("flood stalled: %d/%d casts in flight after %d sent", sent-doneCasts, window, sent)
+			}
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		groups[0].CastAsync(types.FIFO, payload)
+		sent++
+	}
+	for delivered.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d before deadline", delivered.Load()-base, want-base)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 }

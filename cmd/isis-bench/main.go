@@ -1,5 +1,5 @@
 // Command isis-bench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E11 plus
+// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E12 plus
 // the ablations A1–A3.
 //
 // Usage:
@@ -8,10 +8,13 @@
 //	isis-bench -scale full             # paper-scale sweeps (slower)
 //	isis-bench -experiment E1,E5       # run a subset
 //	isis-bench -experiment E9 -json .  # also write BENCH_batching.json
+//	isis-bench -experiment E12 -cpuprofile cpu.out -memprofile mem.out
 //
 // With -json DIR each selected experiment additionally writes its tables as
-// a JSON array to DIR/BENCH_<name>.json (E9 is named "batching"); CI runs
-// the E2/E9 smoke subset and uploads these files as build artifacts.
+// a JSON array to DIR/BENCH_<name>.json (E9 is named "batching", E12
+// "scaling"); CI runs a smoke subset and uploads these files as build
+// artifacts. -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments (see EXPERIMENTS.md, "Profiling the hot path").
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,22 +34,65 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "sweep scale: quick or full")
-	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E11, A1..A3) or 'all'")
+	expFlag := flag.String("experiment", "all", "comma-separated experiment ids (E1..E12, A1..A3) or 'all'")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json files into (empty: text only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := run(*scaleFlag, *expFlag, *jsonDir)
+
+	// Profiles are finalised explicitly (not deferred): os.Exit skips defers.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // material allocations only, not garbage
+	return pprof.WriteHeapProfile(f)
+}
+
+// run executes the selected experiments and reports whether any failed.
+func run(scaleName, expList, jsonDir string) bool {
 	scale := experiments.Quick
-	if strings.EqualFold(*scaleFlag, "full") {
+	if strings.EqualFold(scaleName, "full") {
 		scale = experiments.Full
 	}
 
 	selected := map[string]bool{}
-	if strings.EqualFold(*expFlag, "all") {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
+	if strings.EqualFold(expList, "all") {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"} {
 			selected[id] = true
 		}
 	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(expList, ",") {
 			selected[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
@@ -77,6 +125,10 @@ func main() {
 		{"E9", "batching", wrap1(experiments.E9BatchingThroughput)},
 		{"E10", "chaos", wrap1(experiments.E10ChaosSurvival)},
 		{"E11", "lossy", wrap1(experiments.E11LossyThroughput)},
+		{"E12", "scaling", func() ([]*metrics.Table, error) {
+			t1, t2, err := experiments.E12MemberScaling(scale)
+			return []*metrics.Table{t1, t2}, err
+		}},
 		{"A1", "A1", wrap1(experiments.A1Fanout)},
 		{"A2", "A2", wrap1(experiments.A2Resiliency)},
 		{"A3", "A3", wrap1(experiments.A3Ordering)},
@@ -94,21 +146,19 @@ func main() {
 			failed = true
 			continue
 		}
-		fmt.Printf("=== %s (scale %s, %s) ===\n", r.id, *scaleFlag, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("=== %s (scale %s, %s) ===\n", r.id, scaleName, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
 			t.Render(os.Stdout)
 			fmt.Println()
 		}
-		if *jsonDir != "" {
-			if err := writeJSON(*jsonDir, r.file, tables); err != nil {
+		if jsonDir != "" {
+			if err := writeJSON(jsonDir, r.file, tables); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: write json: %v\n", r.id, err)
 				failed = true
 			}
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return failed
 }
 
 func writeJSON(dir, name string, tables []*metrics.Table) error {

@@ -1,24 +1,19 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/group"
 	"repro/internal/metrics"
 	"repro/internal/node"
-	"repro/internal/types"
+	"repro/internal/reliability"
 )
 
 // E9BatchingThroughput measures the broadcast hot path end to end: one
 // member of a flat group floods FIFO multicasts and the experiment times
 // how long the whole group takes to deliver them, with the transport
 // batching pipeline on (the default) versus off (one frame per message,
-// the pre-batching behaviour). Message counts are identical in both modes —
-// batching changes how messages are framed and flushed, not how many are
+// the pre-batching behaviour). Cast counts are identical in both modes —
+// batching changes how casts are framed and flushed, not how many are
 // sent — so the table also reports frames and the msgs/frame amortization
 // factor. The headline column is the speedup in delivered msgs/sec, the
 // quantity the ROADMAP's "measurably faster hot path" goal asks for.
@@ -40,112 +35,24 @@ func E9BatchingThroughput(s Scale) (*metrics.Table, error) {
 	t := metrics.NewTable("E9: broadcast hot-path throughput, batched vs unbatched",
 		"members", "casts", "mode", "elapsed", "delivered msgs/sec", "frames", "msgs/frame", "speedup")
 	for _, n := range sizes {
-		base, err := runBatchingLoad(n, casts, node.Batching{Disable: true})
+		base, err := runFloodLoad(n, casts, node.Batching{Disable: true}, reliability.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("E9 unbatched n=%d: %w", n, err)
 		}
-		batched, err := runBatchingLoad(n, casts, node.Batching{})
+		batched, err := runFloodLoad(n, casts, node.Batching{}, reliability.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("E9 batched n=%d: %w", n, err)
 		}
-		t.AddRow(n, casts, "unbatched", base.elapsed, base.rate, base.frames, base.msgsPerFrame, "")
-		t.AddRow(n, casts, "batched", batched.elapsed, batched.rate, batched.frames, batched.msgsPerFrame,
+		t.AddRow(n, casts, "unbatched", base.elapsed, base.rate, base.stats.FramesSent, msgsPerFrame(base), "")
+		t.AddRow(n, casts, "batched", batched.elapsed, batched.rate, batched.stats.FramesSent, msgsPerFrame(batched),
 			batched.rate/base.rate)
 	}
 	return t, nil
 }
 
-type batchingResult struct {
-	elapsed      time.Duration
-	rate         float64 // delivered msgs/sec across the whole group
-	frames       uint64
-	msgsPerFrame float64
-}
-
-// runBatchingLoad builds a flat group of n members with the given batching
-// knobs, floods casts from one member, and waits until every member has
-// delivered every cast.
-func runBatchingLoad(n, casts int, b node.Batching) (batchingResult, error) {
-	c, err := cluster.New(n, cluster.Options{Batching: b})
-	if err != nil {
-		return batchingResult{}, err
+func msgsPerFrame(r floodResult) float64 {
+	if r.stats.FramesSent == 0 {
+		return 0
 	}
-	defer c.Stop()
-
-	var delivered atomic.Int64
-	gid := types.FlatGroup("e9-batch")
-	cfg := group.Config{OnDeliver: func(group.Delivery) { delivered.Add(1) }}
-	groups := make([]*group.Group, n)
-	groups[0], err = c.Proc(0).Stack.Create(gid, cfg)
-	if err != nil {
-		return batchingResult{}, err
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
-	defer cancel()
-	for i := 1; i < n; i++ {
-		groups[i], err = c.Proc(i).Stack.Join(ctx, gid, c.Proc(0).ID, cfg)
-		if err != nil {
-			return batchingResult{}, fmt.Errorf("join %d/%d: %w", i, n, err)
-		}
-	}
-	if !cluster.WaitForViewSize(opTimeout, n, groups...) {
-		return batchingResult{}, fmt.Errorf("group never converged to %d members: %w", n, types.ErrTimeout)
-	}
-
-	// Two rounds on the same (warmed) cluster; the better one is reported.
-	// Short runs on shared CI hardware jitter enough that a single round
-	// under-reports whichever mode the scheduler happened to preempt.
-	payload := []byte("batching-throughput-payload-0123456789")
-	var best batchingResult
-	for round := 0; round < 2; round++ {
-		already := delivered.Load()
-		want := already + int64(n)*int64(casts)
-		c.Fabric.ResetStats()
-		start := time.Now()
-		// Windowed flood: cap casts in flight so the unbatched baseline
-		// cannot overflow the receivers' bounded inbound queues (the
-		// netsim overloaded-workstation model would silently drop the
-		// excess and wedge the FIFO streams). Both modes run the same flow
-		// control, like any real pipelined producer.
-		const window = 1024
-		for sent := 0; sent < casts; {
-			doneCasts := (delivered.Load() - already) / int64(n)
-			inFlight := int64(sent) - doneCasts
-			if inFlight >= window {
-				time.Sleep(20 * time.Microsecond)
-				continue
-			}
-			burst := casts - sent
-			if room := int(window - inFlight); burst > room {
-				burst = room
-			}
-			for k := 0; k < burst; k++ {
-				groups[0].CastAsync(types.FIFO, payload)
-			}
-			sent += burst
-		}
-		// Tight polling: cluster.WaitFor's 2ms granularity would be a
-		// visible constant error on runs this short.
-		deadline := time.Now().Add(opTimeout)
-		for delivered.Load() < want {
-			if time.Now().After(deadline) {
-				return batchingResult{}, fmt.Errorf("delivered %d of %d: %w", delivered.Load()-already, want-already, types.ErrTimeout)
-			}
-			time.Sleep(50 * time.Microsecond)
-		}
-		elapsed := time.Since(start)
-		st := c.Fabric.Stats()
-		res := batchingResult{
-			elapsed: elapsed,
-			rate:    float64(want-already) / elapsed.Seconds(),
-			frames:  st.FramesSent,
-		}
-		if st.FramesSent > 0 {
-			res.msgsPerFrame = float64(st.MessagesSent) / float64(st.FramesSent)
-		}
-		if res.rate > best.rate {
-			best = res
-		}
-	}
-	return best, nil
+	return float64(r.stats.MessagesSent) / float64(r.stats.FramesSent)
 }

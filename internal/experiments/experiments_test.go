@@ -49,6 +49,24 @@ func TestE10ChaosSurvivalSmoke(t *testing.T) {
 	}
 }
 
+func TestE12MemberScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	acks, codec, err := experiments.E12MemberScaling(experiments.Smoke)
+	if err != nil {
+		t.Fatalf("E12 smoke: %v", err)
+	}
+	// One size, two ack modes.
+	if acks.Rows() != 2 {
+		t.Fatalf("E12 smoke ack rows = %d, want 2", acks.Rows())
+	}
+	// Two frame sizes, two codecs.
+	if codec.Rows() != 4 {
+		t.Fatalf("E12 smoke codec rows = %d, want 4", codec.Rows())
+	}
+}
+
 func TestE11LossyThroughputSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -25,7 +25,11 @@ type Group struct {
 	closed bool
 	wedged bool
 
-	// Sender-side state.
+	// Sender-side state. acks tracks blocking casts still waiting for their
+	// resiliency quorum. With cumulative acknowledgements (the default) it is
+	// keyed by the cast's own send sequence and resolved from the members'
+	// receive-watermark reports; in the legacy per-cast-ack mode (the E12
+	// baseline) it is keyed by correlation id and resolved by KindCastAck.
 	sendSeq uint64
 	acks    map[uint64]*ackWaiter
 
@@ -69,6 +73,7 @@ type Group struct {
 	// Recovery timer and bookkeeping (NAKs, stability reports, view NAKs).
 	recoveryCancel     func()
 	stabTicks          int
+	stabRR             int // rotation cursor for the bounded-fanout stability tick
 	ordGapTicks        int
 	viewNakRR          int
 	lastInstallView    types.ViewID
@@ -92,12 +97,13 @@ type Group struct {
 
 // ackWaiter tracks one cast's resiliency acknowledgements. Ackers are
 // counted by process id, not by message, because the network may duplicate
-// acks (the chaos harness injects exactly that): the quorum must mean "need
-// distinct members hold the cast", never "need ack frames arrived".
+// reports (the chaos harness injects exactly that): the quorum must mean
+// "need distinct members hold the cast", never "need ack frames arrived".
 type ackWaiter struct {
-	need int
-	from map[types.ProcessID]bool
-	done chan error
+	need  int
+	from  map[types.ProcessID]bool
+	done  chan error
+	ticks int // recovery ticks survived; drives the re-send of lost reports
 }
 
 type pendingInstall struct {
@@ -154,10 +160,42 @@ func (g *Group) Left() <-chan struct{} { return g.leftC }
 
 // --- lifecycle ---------------------------------------------------------------
 
-// install applies a new view on the actor goroutine.
+// install applies a new view on the actor goroutine. The cut (nil only for
+// a founding view) was already honoured — or grace-timed-out — by the
+// caller; here it additionally settles the closing view's pending
+// resiliency waiters.
 func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
-	_ = cut // the cut was already honoured (or timed out) by the caller
 	self := g.stack.node.PID()
+
+	// With cumulative acknowledgements, the install settles every waiter
+	// still pending from the closing view, judged against the delivery cut:
+	// a cast at or below the cut's entry for this sender is held (and
+	// delivered) by every survivor that honoured the cut — view agreement
+	// now guarantees what the per-member quorum was waiting to observe — so
+	// its waiter resolves with success. A cast ABOVE the cut got no such
+	// guarantee (the sender's flush acknowledgement was never collected:
+	// lost propose plus suspicion mid-flush, or a skipped install whose cut
+	// describes a later view), and its per-view report state is about to be
+	// discarded, so its waiter fails like the timeout the retired per-cast
+	// path would have produced. (A sender that did not survive never
+	// reaches this path: removal goes through markLeft, which fails the
+	// waiters with ErrNotMember.) Success still inherits the InstallGrace
+	// escape hatch's weakening exactly as set agreement itself does: a
+	// member that timed out waiting for the cut installed without some
+	// casts, and the sender cannot observe that remotely.
+	if !g.cfg.Reliability.PerCastAck {
+		for seq, w := range g.acks {
+			delete(g.acks, seq)
+			var res error
+			if seq > cut[self] {
+				res = fmt.Errorf("cast %d to %s: view changed before the quorum formed: %w", seq, g.id, types.ErrTimeout)
+			}
+			select {
+			case w.done <- res:
+			default:
+			}
+		}
+	}
 
 	// Keep the outgoing view's retransmit buffer and delivered-order log for
 	// one view: members still waiting for this install NAK their missing
@@ -727,6 +765,15 @@ func (g *Group) onViewInstall(m *types.Message) {
 	g.lastInstallView = v.ID
 	g.lastInstallPayload = append([]byte(nil), m.Payload...)
 	if g.joined && v.ID == g.view.ID+1 {
+		// The install's sender is the flush's authority for the closing
+		// view. A member whose propose copy was lost arrives here with no
+		// proposer recorded; noting one now keeps the sequencer-failover
+		// fence (onOrder) from discarding the order traffic — re-announced
+		// bindings, NAK answers in a coordinator-led change — that the
+		// pending install's abCut needs to complete.
+		if g.proposeFrom.IsNil() {
+			g.proposeFrom = m.From
+		}
 		// Replay casts parked during the wedge up to the cut; anything
 		// beyond it belongs to no survivor's acknowledged prefix and is
 		// discarded, so no member's delivered set can exceed the cut.
@@ -735,9 +782,12 @@ func (g *Group) onViewInstall(m *types.Message) {
 		return
 	}
 	// Skipping ahead (we missed an intermediate install): the cut describes
-	// a view we never saw, so parked casts cannot be interpreted against it.
+	// a view we never saw, so neither parked casts nor pending resiliency
+	// waiters (whose sequences belong to our older view) can be interpreted
+	// against it — drop the former, and hand install a nil cut so the
+	// latter settle as timeouts rather than false successes.
 	g.parked = nil
-	g.install(v, cut)
+	g.install(v, nil)
 }
 
 func (g *Group) onStateTransfer(m *types.Message) {
@@ -828,7 +878,6 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 	}
 	self := g.stack.node.PID()
 	g.sendSeq++
-	corr := g.stack.node.NextCorr()
 	msg := &types.Message{
 		Kind:     types.KindCast,
 		From:     self,
@@ -836,8 +885,14 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 		View:     g.view.ID,
 		ID:       types.MsgID{Sender: self, Seq: g.sendSeq},
 		Ordering: o,
-		Corr:     corr,
 		Payload:  payload,
+	}
+	perCast := g.cfg.Reliability.PerCastAck
+	if perCast {
+		// Legacy mode: the per-cast acknowledgements are correlated
+		// explicitly. The cumulative path needs no correlation id — the
+		// cast's identity (sender + sequence) is what watermarks cover.
+		msg.Corr = g.stack.node.NextCorr()
 	}
 	switch o {
 	case types.Causal:
@@ -863,7 +918,12 @@ func (g *Group) castOnActor(o types.Ordering, payload []byte, done chan error) {
 		need = max
 	}
 	if need > 0 && done != nil {
-		g.acks[corr] = &ackWaiter{need: need, from: make(map[types.ProcessID]bool, need), done: done}
+		w := &ackWaiter{need: need, from: make(map[types.ProcessID]bool, need), done: done}
+		if perCast {
+			g.acks[msg.Corr] = w
+		} else {
+			g.acks[g.sendSeq] = w
+		}
 	}
 
 	g.stack.node.SendCopies(g.view.Members, msg)
@@ -959,9 +1019,17 @@ func (g *Group) processCast(m *types.Message, allowSequence, ack bool) {
 	}
 }
 
-// ackCast acknowledges receipt for the sender's resiliency accounting,
-// piggybacking this member's stability report.
+// ackCast acknowledges receipt for the sender's resiliency accounting. In
+// the default cumulative mode the acknowledgement IS a stability report: one
+// watermark vector sent to the cast's originator covers every cast of its
+// prefix at once (and duplicates re-send it, since the first report may have
+// been the casualty). The legacy per-cast mode answers with one KindCastAck
+// per message, the retired O(n²) path kept for the E12 baseline.
 func (g *Group) ackCast(m *types.Message) {
+	if !g.cfg.Reliability.PerCastAck {
+		g.sendReportTo(m.ID.Sender)
+		return
+	}
 	if m.From == g.stack.node.PID() || m.Corr == 0 {
 		return
 	}
@@ -970,6 +1038,25 @@ func (g *Group) ackCast(m *types.Message) {
 		Group:   g.id,
 		View:    m.View,
 		Corr:    m.Corr,
+		Stab:    g.rel.StabVector(),
+		StabOrd: g.total.NextSeq(),
+	})
+}
+
+// sendReportTo sends this member's cumulative stability report (the per-
+// sender contiguous-receive watermarks plus the delivered ABCAST prefix) to
+// one peer. It is the cumulative acknowledgement: the receiver folds it into
+// its tracker, which both advances stability and resolves any resiliency
+// waiters the watermarks now cover. The report rides the batching outbox, so
+// a frame of casts is answered by (at most) one report per sender in it.
+func (g *Group) sendReportTo(p types.ProcessID) {
+	if p == g.stack.node.PID() || g.rel == nil {
+		return
+	}
+	_ = g.stack.node.Send(p, &types.Message{
+		Kind:    types.KindStability,
+		Group:   g.id,
+		View:    g.view.ID,
 		Stab:    g.rel.StabVector(),
 		StabOrd: g.total.NextSeq(),
 	})
@@ -991,16 +1078,47 @@ func (g *Group) ingestStab(m *types.Message) {
 	}
 	g.rel.Report(m.From, m.Stab, ord)
 	g.total.SetStable(g.rel.StableOrd(g.total.NextSeq() - 1))
+	g.resolveCastWaiters(m.From)
+}
+
+// resolveCastWaiters re-checks pending resiliency waiters against one
+// member's freshly ingested receive-watermark report: every waiting cast
+// whose sequence the report covers gains that member as an acker. This is
+// the cumulative replacement for per-cast acknowledgements — a single
+// watermark entry acknowledges an entire prefix of casts at once.
+func (g *Group) resolveCastWaiters(from types.ProcessID) {
+	if g.cfg.Reliability.PerCastAck || len(g.acks) == 0 {
+		return
+	}
+	self := g.stack.node.PID()
+	if from == self {
+		return
+	}
+	covered := g.rel.Reported(from, self)
+	for seq, w := range g.acks {
+		if seq > covered || w.from[from] {
+			continue // not covered yet, or this member already counted
+		}
+		w.from[from] = true
+		if len(w.from) >= w.need {
+			delete(g.acks, seq)
+			select {
+			case w.done <- nil:
+			default:
+			}
+		}
+	}
 }
 
 // onCastBatch is the batch-frame form of onCast: per-message bookkeeping
 // (reliability tracking, acknowledgement, sequencing) runs in one loop, then
 // each ordering engine accepts its sub-batch and releases deliveries in one
 // pass, and the pending-install cut is rechecked once for the whole frame.
-// The acknowledgements and order announcements it sends coalesce in the
-// node's outbox, so a frame of casts is answered by (at most) a frame of
-// acks rather than one transmission each. Wedged groups fall back to the
-// per-message path, which owns the parking rules.
+// In the default cumulative mode a whole frame of casts is acknowledged by
+// one stability report per originator in it; the legacy per-cast mode's
+// acks (and the order announcements) coalesce in the node's outbox, so they
+// cost at most a frame rather than one transmission each. Wedged groups
+// fall back to the per-message path, which owns the parking rules.
 func (g *Group) onCastBatch(ms []*types.Message) {
 	if len(ms) == 1 {
 		g.onCast(ms[0])
@@ -1016,16 +1134,26 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 		return
 	}
 	self := g.stack.node.PID()
+	perCast := g.cfg.Reliability.PerCastAck
 
 	// byOrdering[o] collects the current-view casts for engine o; anything
 	// outside the known orderings is delivered directly, like onCast does.
 	var byOrdering [4][]*types.Message
 	var direct []*types.Message
-	// Acknowledgements are collected and sent after the loop so they all
-	// carry the frame's final stability report; one backing allocation, and
-	// the append never exceeds the fixed capacity, so the pointers handed to
-	// Send stay stable.
-	ackBlock := make([]types.Message, 0, len(ms))
+	// Cumulative mode acknowledges per sender, not per message: one
+	// stability report to each distinct originator in the frame, sent after
+	// intake so it covers the whole frame (duplicates count too — their
+	// earlier report may have been the casualty). reportTo stays tiny, so a
+	// linear membership test beats a map.
+	var reportTo []types.ProcessID
+	// Legacy mode collects per-cast acknowledgements and sends them after
+	// the loop so they all carry the frame's final stability report; one
+	// backing allocation, and the append never exceeds the fixed capacity,
+	// so the pointers handed to Send stay stable.
+	var ackBlock []types.Message
+	if perCast {
+		ackBlock = make([]types.Message, 0, len(ms))
+	}
 	for _, m := range ms {
 		if !g.joined || m.View != g.view.ID {
 			if m.View > g.view.ID || !g.joined {
@@ -1039,14 +1167,18 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 		fresh := g.rel.Note(m)
 		// Acknowledge receipt (duplicates re-acknowledge: the first ack may
 		// have been the casualty).
-		if m.From != self && m.Corr != 0 {
-			ackBlock = append(ackBlock, types.Message{
-				Kind:  types.KindCastAck,
-				To:    m.From, // destination, re-stamped by Send
-				Group: g.id,
-				View:  m.View,
-				Corr:  m.Corr,
-			})
+		if perCast {
+			if m.From != self && m.Corr != 0 {
+				ackBlock = append(ackBlock, types.Message{
+					Kind:  types.KindCastAck,
+					To:    m.From, // destination, re-stamped by Send
+					Group: g.id,
+					View:  m.View,
+					Corr:  m.Corr,
+				})
+			}
+		} else if s := m.ID.Sender; s != self && !types.ContainsProcess(reportTo, s) {
+			reportTo = append(reportTo, s)
 		}
 		if !fresh {
 			continue // already held: a network duplicate or retransmission
@@ -1092,8 +1224,12 @@ func (g *Group) onCastBatch(ms []*types.Message) {
 			g.deliver(d)
 		}
 	}
-	// One stability report for the whole frame, shared (read-only) by every
-	// acknowledgement.
+	// Cumulative mode: one report per distinct originator, covering every
+	// cast of the frame at once. Legacy mode: one ack per cast, sharing one
+	// (read-only) stability report for the whole frame.
+	for _, p := range reportTo {
+		g.sendReportTo(p)
+	}
 	if len(ackBlock) > 0 {
 		stab := g.rel.StabVector()
 		ord := g.total.NextSeq()
@@ -1127,6 +1263,23 @@ func (g *Group) onCastAck(m *types.Message) {
 
 func (g *Group) onOrder(m *types.Message) {
 	if g.closed || !g.joined || m.View != g.view.ID {
+		return
+	}
+	// Sequencer-failover fence: once this member wedges for a view change
+	// that deposes the sequencer (the current view's coordinator), the
+	// flush's merged order — re-announced by the proposer and completed by
+	// the install's abCut — is the only authority on the closing view's
+	// agreed slots. A deposed sequencer's announcement still in flight (or
+	// re-served from its stale binding log across a partition) could bind a
+	// slot differently from the merge, because the merge only aggregates
+	// what survivors held when they acknowledged the flush; applying it here
+	// would make this member's agreed order and delivered set diverge from
+	// every member that followed the re-announcement. Announcements applied
+	// BEFORE wedging are safe: they are reported in this member's flush
+	// acknowledgement and therefore part of the merge. When the coordinator
+	// is itself the proposer (plain join/leave changes) there is no second
+	// announcement source and its traffic passes.
+	if g.wedged && m.From == g.view.Coordinator() && g.proposeFrom != m.From {
 		return
 	}
 	for _, d := range g.total.AddOrder(m.Seq, m.ID) {

@@ -43,6 +43,15 @@ func (g *Group) onRecoveryTick() {
 		return
 	}
 
+	// Resiliency repair (cumulative-ack mode): a blocking cast still waiting
+	// after a full interval re-sends itself to the members whose watermark
+	// reports have not covered it. Receivers treat the copy as a duplicate
+	// and re-send their cumulative report — which is exactly the message
+	// whose loss left the waiter stuck.
+	if !rcfg.PerCastAck && len(g.acks) > 0 {
+		g.renotifyWaiters()
+	}
+
 	if g.pending != nil {
 		// A pending install names exactly what we are missing.
 		g.sendNaks(g.rel.MissingBelow(g.pending.cut))
@@ -131,9 +140,32 @@ func (g *Group) sendOrderNak() {
 	g.relStats.OrderNaksSent++
 }
 
-// sendStability multicasts a standalone stability report (piggybacked
-// reports cover this while casts flow).
+// sendStability sends the standalone stability report tick (piggybacked
+// reports cover this while casts flow). The fanout is bounded: each tick
+// reports to at most Reliability.StabilityFanout members, rotating
+// round-robin over the view, so the idle-group cost is O(n·fanout) per tick
+// instead of O(n²) while every member still hears from every other member
+// once per rotation — stability (and the buffer pruning it drives) converges
+// a rotation later at worst, never wrongly.
 func (g *Group) sendStability() {
+	self := g.stack.node.PID()
+	others := make([]types.ProcessID, 0, g.view.Size())
+	for _, p := range g.view.Members {
+		if p != self {
+			others = append(others, p)
+		}
+	}
+	if len(others) == 0 {
+		return
+	}
+	dests := others
+	if fan := g.cfg.Reliability.StabilityFanout; len(others) > fan {
+		dests = make([]types.ProcessID, 0, fan)
+		for i := 0; i < fan; i++ {
+			dests = append(dests, others[(g.stabRR+i)%len(others)])
+		}
+		g.stabRR = (g.stabRR + fan) % len(others)
+	}
 	template := &types.Message{
 		Kind:    types.KindStability,
 		Group:   g.id,
@@ -141,7 +173,7 @@ func (g *Group) sendStability() {
 		Stab:    g.rel.StabVector(),
 		StabOrd: g.total.NextSeq(),
 	}
-	g.stack.node.SendCopies(g.view.Members, template)
+	g.stack.node.SendCopies(dests, template)
 }
 
 // sendViewNak asks a member that (presumably) installed the proposed view to
@@ -172,6 +204,42 @@ func (g *Group) sendViewNak() {
 		Group: g.id,
 		View:  g.view.ID + 1,
 	})
+}
+
+// renotifyWaiters drives the resiliency-repair tick: for each cast still
+// waiting for its quorum, re-send it to the members that have neither been
+// counted nor reported a covering watermark. Waiters younger than two ticks
+// are left alone — the prompt report usually arrives within one.
+func (g *Group) renotifyWaiters() {
+	self := g.stack.node.PID()
+	for seq, w := range g.acks {
+		w.ticks++
+		if w.ticks < 2 {
+			continue
+		}
+		held := g.rel.Retrieve(reliability.SeqRange{Sender: self, Lo: seq, Hi: seq}, 1)
+		if len(held) == 0 {
+			continue // pruned as stable: every member has reported past it
+		}
+		var dests []types.ProcessID
+		for _, p := range g.view.Members {
+			if p == self || w.from[p] || g.suspected[p] {
+				continue
+			}
+			if g.rel.Reported(p, self) < seq {
+				dests = append(dests, p)
+			}
+		}
+		if len(dests) == 0 {
+			continue
+		}
+		c := held[0].Clone()
+		// Like every retransmission: no correlation, no stale piggybacked
+		// report attributed to the wrong moment.
+		c.Corr = 0
+		c.Stab, c.StabOrd = nil, 0
+		g.stack.node.SendCopies(dests, c)
+	}
 }
 
 // onNak serves a retransmission request from this member's buffers — the

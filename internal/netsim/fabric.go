@@ -198,6 +198,14 @@ type Stats struct {
 	MessagesReordered uint64
 	// BytesSent is the total wire size of all send attempts.
 	BytesSent uint64
+	// AcksSent counts per-cast acknowledgement messages (KindCastAck, the
+	// legacy resiliency path) and StabilitySent counts cumulative watermark
+	// reports (KindStability). Together they are a run's acknowledgement
+	// overhead — the quantity the E12 member-scaling experiment reports the
+	// reduction of. Both are also present in PerKind; the dedicated counters
+	// exist so experiments read them without map lookups on a hot path.
+	AcksSent      uint64
+	StabilitySent uint64
 	// PerKind breaks MessagesSent down by protocol message kind.
 	PerKind map[types.Kind]uint64
 	// PerSender counts send attempts per originating process.
@@ -457,6 +465,15 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 	set[to] = struct{}{}
 	var kindRun types.Kind
 	var kindN uint64
+	addKindRun := func() {
+		f.stats.PerKind[kindRun] += kindN
+		switch kindRun {
+		case types.KindCastAck:
+			f.stats.AcksSent += kindN
+		case types.KindStability:
+			f.stats.StabilitySent += kindN
+		}
+	}
 	for i, m := range msgs {
 		if pkts != nil {
 			f.stats.BytesSent += uint64(pkts[i].Size) // WireSize already computed
@@ -468,11 +485,11 @@ func (f *Fabric) SendBatch(msgs []*types.Message) error {
 			continue
 		}
 		if kindN > 0 {
-			f.stats.PerKind[kindRun] += kindN
+			addKindRun()
 		}
 		kindRun, kindN = m.Kind, 1
 	}
-	f.stats.PerKind[kindRun] += kindN
+	addKindRun()
 	watcher := f.watcher
 
 	// Destination checks apply to the frame as a whole.
@@ -631,6 +648,8 @@ func (f *Fabric) Stats() Stats {
 		MessagesDuplicated: f.stats.MessagesDuplicated,
 		MessagesReordered:  f.stats.MessagesReordered,
 		BytesSent:          f.stats.BytesSent,
+		AcksSent:           f.stats.AcksSent,
+		StabilitySent:      f.stats.StabilitySent,
 		PerKind:            make(map[types.Kind]uint64, len(f.stats.PerKind)),
 		PerSender:          make(map[types.ProcessID]uint64, len(f.stats.PerSender)),
 		PerReceiver:        make(map[types.ProcessID]uint64, len(f.stats.PerReceiver)),

@@ -289,6 +289,50 @@ func TestSendBatchDeliversOneFrame(t *testing.T) {
 	}
 }
 
+// TestAckAndStabilityCounters pins the dedicated acknowledgement counters:
+// KindCastAck and KindStability get their own Stats fields (matching their
+// PerKind entries), counted per message whether sent alone or mid-frame, so
+// E12 can report the ack-volume reduction without walking the kind map.
+func TestAckAndStabilityCounters(t *testing.T) {
+	f := New(DefaultConfig())
+	a, b := pid(1), pid(2)
+	_, _ = f.Attach(a)
+	chB, _ := f.Attach(b)
+
+	batch := []*types.Message{
+		msg(a, b, types.KindCast),
+		msg(a, b, types.KindCastAck),
+		msg(a, b, types.KindCastAck),
+		msg(a, b, types.KindStability),
+		msg(a, b, types.KindCast),
+	}
+	if err := f.SendBatch(batch); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	recvFrame(t, chB)
+	if err := f.Send(msg(a, b, types.KindStability)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	recvFrame(t, chB)
+
+	st := f.Stats()
+	if st.AcksSent != 2 {
+		t.Errorf("AcksSent = %d, want 2", st.AcksSent)
+	}
+	if st.StabilitySent != 2 {
+		t.Errorf("StabilitySent = %d, want 2", st.StabilitySent)
+	}
+	if st.AcksSent != st.PerKind[types.KindCastAck] || st.StabilitySent != st.PerKind[types.KindStability] {
+		t.Errorf("dedicated counters disagree with PerKind: acks %d/%d stability %d/%d",
+			st.AcksSent, st.PerKind[types.KindCastAck], st.StabilitySent, st.PerKind[types.KindStability])
+	}
+
+	f.ResetStats()
+	if st := f.Stats(); st.AcksSent != 0 || st.StabilitySent != 0 {
+		t.Errorf("ResetStats left ack counters at %d/%d", st.AcksSent, st.StabilitySent)
+	}
+}
+
 func TestSendBatchWholeFrameDropsOnCrashedDest(t *testing.T) {
 	f := New(DefaultConfig())
 	a, b := pid(1), pid(2)

@@ -14,7 +14,8 @@
 //
 // # Batching and pipelining
 //
-// Outbound multicast traffic (casts, cast acks, ABCAST order announcements)
+// Outbound multicast traffic (casts, stability reports, ABCAST order
+// announcements, legacy cast acks)
 // is coalesced by a per-destination outbox: sends enqueue, and the pending
 // queues are flushed as transport batch frames when the actor runs out of
 // queued work, when a queue reaches Batching.MaxBatch, or at the latest
@@ -292,7 +293,8 @@ func (n *Node) Call(fn func()) error {
 // Send fills in the sender and transmits msg. It may be called from any
 // goroutine, including handlers.
 //
-// Hot-path multicast kinds (casts, cast acks, order announcements) are
+// Hot-path multicast kinds (casts, stability reports, order announcements,
+// legacy cast acks) are
 // coalesced through the outbox and flushed as batch frames; their transport
 // errors surface asynchronously, like loss on a real network. All other
 // kinds are transmitted synchronously, after flushing anything the outbox

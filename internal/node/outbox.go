@@ -9,8 +9,9 @@ import (
 )
 
 // Batching configures the sender-side outbox that coalesces hot-path
-// multicast traffic (KindCast, KindCastAck, KindOrder) into batch frames.
-// The zero value selects the defaults; set Disable to get the historical
+// multicast traffic (KindCast, KindOrder, KindStability and — in the
+// legacy per-cast-ack mode — KindCastAck) into batch frames. The zero
+// value selects the defaults; set Disable to get the historical
 // one-frame-per-message behaviour.
 type Batching struct {
 	// MaxBatch caps how many messages one flushed frame may carry. A queue
@@ -44,8 +45,9 @@ func (b Batching) withDefaults() Batching {
 }
 
 // batchable reports whether a message kind rides the coalescing outbox.
-// Only the multicast data path qualifies: casts, their acknowledgements,
-// ABCAST order announcements and stability reports are fire-and-forget
+// Only the multicast data path qualifies: casts, stability reports (the
+// cumulative acknowledgements), legacy per-cast acknowledgements and
+// ABCAST order announcements are fire-and-forget
 // (protocols recover from their loss via acks, NAKs, retries and failure
 // detection), so reporting their transport errors asynchronously is safe.
 // Everything else — RPC, membership, state transfer, heartbeats, hierarchy

@@ -37,10 +37,24 @@ type Config struct {
 	// MaxRetransmit caps how many casts one NAK answer retransmits (the
 	// requester re-asks for the rest once those land). Zero selects 128.
 	MaxRetransmit int
+	// StabilityFanout bounds how many members one standalone stability tick
+	// reports to. Reports rotate round-robin over the view, so every member
+	// still hears from every other member once per rotation, but an idle
+	// n-member group costs O(n·fanout) messages per tick instead of O(n²) —
+	// the term that would otherwise dominate large groups. Zero selects 4.
+	StabilityFanout int
 	// DisableRetransmit turns the NAK/retransmit machinery and flush
 	// forwarding off, restoring the pre-stability best-effort behaviour.
 	// The E11 experiment uses it as the baseline; deployments do not.
 	DisableRetransmit bool
+	// PerCastAck restores the retired per-cast acknowledgement path: every
+	// received cast is answered with one KindCastAck per receiver, O(n²)
+	// messages per broadcast round. The default (false) acknowledges
+	// cumulatively instead — the piggybacked/standalone stability watermarks
+	// are the only ack signal, so one report covers an entire prefix of
+	// casts. The E12 experiment uses PerCastAck as the baseline; deployments
+	// do not.
+	PerCastAck bool
 }
 
 // WithDefaults fills zero fields with the default knob settings.
@@ -56,6 +70,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxRetransmit <= 0 {
 		c.MaxRetransmit = 128
+	}
+	if c.StabilityFanout <= 0 {
+		c.StabilityFanout = 4
 	}
 	return c
 }
@@ -259,6 +276,15 @@ func (t *Tracker) advanceStability() {
 			s.stable = min
 		}
 	}
+}
+
+// Reported returns the highest receive watermark member has reported for
+// sender's casts in this view — zero if member has never reported. The group
+// layer resolves its cumulative acknowledgement waiters from it: a reported
+// watermark of w means member holds every one of sender's casts 1..w, so one
+// report acknowledges an entire prefix.
+func (t *Tracker) Reported(member, sender types.ProcessID) uint64 {
+	return t.reports[member][sender]
 }
 
 // StableOrd returns the group-wide stable ABCAST prefix — every member has

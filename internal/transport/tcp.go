@@ -1,9 +1,9 @@
 package transport
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/binary"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // TCP is a Network implementation over real TCP sockets, used by the
@@ -25,6 +26,13 @@ import (
 // so the accepting side learns the return route. A joiner therefore only
 // needs its contact's address; everyone it talks to learns it back.
 // Messages to peers known by neither mechanism fail with ErrNoSuchProcess.
+//
+// On the wire every frame is a 4-byte big-endian payload length followed by
+// the internal/wire binary encoding of the batch (plus optional hello
+// metadata). The codec replaced encoding/gob: fixed layout instead of
+// per-frame type metadata, an append into a per-connection scratch buffer
+// instead of reflective encoding, so steady-state sending performs zero
+// allocations per frame and decoding is a bounds-checked linear scan.
 type TCP struct {
 	mu    sync.RWMutex
 	peers map[types.ProcessID]string // pid -> host:port
@@ -92,74 +100,39 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 	return ep, nil
 }
 
-// wireFrame is one transmission unit: a batch of messages plus optional
-// hello metadata. On the wire every frame is length-prefixed — a 4-byte
-// big-endian payload length followed by the gob encoding of the wireFrame —
-// so frame boundaries are explicit and a whole batch costs one socket
-// write. Msgs mirrors []types.Message (rather than internal pointers) to
-// keep the wire format independent of internal struct evolution; its
-// length-prefixed slice encoding carries the batch size. The Hello fields
-// are set on the first frame of every outbound connection: they announce
-// the dialer's process id and listen address so the accepting endpoint can
-// route replies without static peer configuration.
-type wireFrame struct {
-	Msgs      []types.Message
-	HelloFrom types.ProcessID
-	HelloAddr string
-}
-
-// maxFrameBytes bounds the decoded payload length so a corrupt or hostile
-// header cannot force an arbitrarily large allocation.
-const maxFrameBytes = 64 << 20
-
-// frameReader adapts the length-prefixed frame stream back into the
-// contiguous byte stream the persistent gob decoder expects: it strips the
-// 4-byte headers and hands the decoder the concatenated payloads.
-type frameReader struct {
-	r   io.Reader
-	rem uint32 // unread bytes of the current frame payload
-}
-
-func (fr *frameReader) Read(p []byte) (int, error) {
-	for fr.rem == 0 {
-		var hdr [4]byte
-		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-			return 0, err
-		}
-		fr.rem = binary.BigEndian.Uint32(hdr[:])
-		if fr.rem > maxFrameBytes {
-			return 0, fmt.Errorf("tcp transport: frame of %d bytes exceeds limit", fr.rem)
-		}
-	}
-	if uint32(len(p)) > fr.rem {
-		p = p[:fr.rem]
-	}
-	n, err := fr.r.Read(p)
-	fr.rem -= uint32(n)
-	return n, err
-}
-
 type tcpConn struct {
 	mu        sync.Mutex
 	conn      net.Conn
-	buf       bytes.Buffer // encode target, drained into one write per frame
-	enc       *gob.Encoder
+	scratch   []byte // reused encode buffer: length prefix + wire frame
 	helloSent bool
 }
 
-// writeFrame gob-encodes wf into the connection's buffer and writes it as
-// one length-prefixed unit with a single conn.Write (one syscall per
-// batch). Callers hold c.mu.
-func (c *tcpConn) writeFrame(wf *wireFrame) error {
-	c.buf.Reset()
-	if err := c.enc.Encode(wf); err != nil {
-		return err
+// writeFrame encodes msgs (plus the hello metadata on the connection's first
+// frame) into the connection's scratch buffer and writes it as one
+// length-prefixed unit with a single conn.Write (one syscall per batch).
+// The scratch buffer is reused across frames, so steady state the encode
+// path allocates nothing. Oversized frames are rejected before any byte is
+// written — first by estimate (so a hopeless frame never inflates the
+// scratch buffer), then exactly after encoding — which means an
+// ErrFrameTooLarge leaves the connection's stream untouched and usable.
+// Callers hold c.mu.
+func (c *tcpConn) writeFrame(msgs []*types.Message, helloFrom types.ProcessID, helloAddr string) error {
+	estimate := 0
+	for _, m := range msgs {
+		estimate += m.WireSize()
 	}
-	payload := c.buf.Bytes()
-	out := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
-	copy(out[4:], payload)
-	_, err := c.conn.Write(out)
+	if estimate > wire.MaxFrameBytes {
+		return fmt.Errorf("tcp transport: frame of ~%d bytes exceeds limit: %w", estimate, wire.ErrFrameTooLarge)
+	}
+	b := append(c.scratch[:0], 0, 0, 0, 0) // room for the length prefix
+	b = wire.AppendFrame(b, msgs, helloFrom, helloAddr)
+	c.scratch = b
+	payload := len(b) - 4
+	if payload > wire.MaxFrameBytes {
+		return fmt.Errorf("tcp transport: frame of %d bytes exceeds limit: %w", payload, wire.ErrFrameTooLarge)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	_, err := c.conn.Write(b)
 	return err
 }
 
@@ -191,30 +164,52 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// readLoop turns one inbound connection's byte stream back into frames: read
+// the 4-byte length prefix, read exactly that many payload bytes (both reads
+// ride a buffered reader, so short TCP segments — partial reads — just loop
+// inside io.ReadFull), decode, deliver. The payload buffer is reused across
+// frames; DecodeOwned hands out freshly allocated messages because the
+// frame's lifetime extends past the next read (it crosses the inbox channel
+// into the receiver's actor loop), while the connection-scoped Decoder
+// interns the group names repeated on every message. A corrupt stream (bad
+// length, undecodable frame) tears the connection down; the peer redials
+// and retransmission recovers anything lost.
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(&frameReader{r: conn})
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var dec wire.Decoder
+	var payload []byte
 	for {
-		var wf wireFrame
-		if err := dec.Decode(&wf); err != nil {
-			// Connection torn down; the peer will reconnect if needed.
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // connection torn down; the peer will reconnect if needed
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > wire.MaxFrameBytes {
+			return // corrupt or hostile header
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		f, err := dec.DecodeOwned(payload)
+		if err != nil {
 			return
 		}
 		// A hello claiming the identity of a locally attached process is a
 		// misconfiguration (duplicate site id); never let it hijack the
 		// local route.
-		if !wf.HelloFrom.IsNil() && wf.HelloAddr != "" && !e.net.isLocal(wf.HelloFrom) {
-			e.net.AddPeer(wf.HelloFrom, wf.HelloAddr)
+		if !f.HelloFrom.IsNil() && f.HelloAddr != "" && !e.net.isLocal(f.HelloFrom) {
+			e.net.AddPeer(f.HelloFrom, f.HelloAddr)
 		}
-		if len(wf.Msgs) == 0 {
+		if len(f.Msgs) == 0 {
 			continue // hello-only frame
 		}
-		frame := make([]*types.Message, len(wf.Msgs))
-		for i := range wf.Msgs {
-			frame[i] = &wf.Msgs[i]
-		}
 		select {
-		case e.inbox <- frame:
+		case e.inbox <- f.Msgs:
 		case <-e.done:
 			return
 		}
@@ -226,11 +221,12 @@ func (e *tcpEndpoint) Send(msg *types.Message) error {
 }
 
 // maxFrameWire bounds the estimated payload bytes packed into one wire
-// frame. It sits far below maxFrameBytes so that gob overhead can never
-// push an accepted batch over the receiver's decode limit; batches of
-// large messages are split across several frames instead of producing one
-// the peer would reject (tearing down the connection and silently losing
-// the whole batch).
+// frame. It sits 4x below wire.MaxFrameBytes (and the WireSize estimate
+// tracks the varint-compressed binary encoding from above for realistic
+// messages), so an accepted batch can never produce a frame the receiver's
+// decode limit would reject (tearing down the connection and silently
+// losing the whole batch); batches of large messages are split across
+// several frames instead.
 const maxFrameWire = 16 << 20
 
 func (e *tcpEndpoint) SendBatch(msgs []*types.Message) error {
@@ -277,7 +273,6 @@ func (e *tcpEndpoint) sendFrame(msgs []*types.Message) error {
 			return fmt.Errorf("tcp transport dial %v (%s): %w", to, addr, err)
 		}
 		c = &tcpConn{conn: conn}
-		c.enc = gob.NewEncoder(&c.buf)
 		e.mu.Lock()
 		if existing := e.conns[to]; existing != nil {
 			// Raced with another sender; keep the first connection.
@@ -292,15 +287,19 @@ func (e *tcpEndpoint) sendFrame(msgs []*types.Message) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	wf := wireFrame{Msgs: make([]types.Message, len(msgs))}
-	for i, m := range msgs {
-		wf.Msgs[i] = *m
-	}
+	var helloFrom types.ProcessID
+	var helloAddr string
 	if !c.helloSent {
-		wf.HelloFrom = e.pid
-		wf.HelloAddr = e.advertiseAddr(c.conn)
+		helloFrom = e.pid
+		helloAddr = e.advertiseAddr(c.conn)
 	}
-	if err := c.writeFrame(&wf); err != nil {
+	if err := c.writeFrame(msgs, helloFrom, helloAddr); err != nil {
+		// A rejected oversized frame is a caller error, not a connection
+		// failure: nothing was written, the stream is intact, and tearing it
+		// down would disrupt unrelated in-flight traffic to the same peer.
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			return fmt.Errorf("tcp transport send to %v: %w", to, err)
+		}
 		// Drop the broken connection so the next send redials.
 		e.mu.Lock()
 		if e.conns[to] == c {

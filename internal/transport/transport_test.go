@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
+	"net"
 	"testing"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 func pid(site uint32) types.ProcessID { return types.ProcessID{Site: types.SiteID(site)} }
@@ -195,6 +198,252 @@ func TestBatchFramingConformance(t *testing.T) {
 				t.Fatalf("empty SendBatch: %v", err)
 			}
 		})
+	}
+}
+
+// TestFrameCodecConformance pins the wire-codec contract on both transports:
+// a message with every envelope field populated must arrive field-for-field
+// intact, alone and inside a batch, and a message at realistic maximum size
+// (1MB payload) must survive unharmed. Memory passes trivially (it clones);
+// TCP exercises the binary codec end to end.
+func TestFrameCodecConformance(t *testing.T) {
+	fullMsg := func() *types.Message {
+		return &types.Message{
+			Kind:     types.KindCast,
+			From:     pid(1),
+			To:       pid(2),
+			Group:    types.GroupID{Name: "conf", Kind: types.KindLeaf, Path: []uint32{2, 0, 7}},
+			View:     12,
+			ID:       types.MsgID{Sender: pid(1), Seq: 99},
+			Ordering: types.Causal,
+			Seq:      1 << 40,
+			VT:       []uint64{3, 1 << 50, 0, 7},
+			Corr:     987654321,
+			ReplyTo:  pid(3),
+			Hop:      4,
+			TTL:      9,
+			Path:     []uint32{1, 1 << 30},
+			Payload:  []byte("every field populated"),
+			Stab:     []types.StabEntry{{Sender: pid(1), Seq: 98}, {Sender: pid(2), Seq: 55}},
+			StabOrd:  54,
+			Err:      "negative reply text",
+		}
+	}
+	checkEqual := func(t *testing.T, want, got *types.Message) {
+		t.Helper()
+		if got.Kind != want.Kind || got.From != want.From || got.To != want.To ||
+			!got.Group.Equal(want.Group) || got.View != want.View || got.ID != want.ID ||
+			got.Ordering != want.Ordering || got.Seq != want.Seq || got.Corr != want.Corr ||
+			got.ReplyTo != want.ReplyTo || got.Hop != want.Hop || got.TTL != want.TTL ||
+			got.StabOrd != want.StabOrd || got.Err != want.Err ||
+			string(got.Payload) != string(want.Payload) ||
+			len(got.VT) != len(want.VT) || len(got.Path) != len(want.Path) ||
+			len(got.Stab) != len(want.Stab) {
+			t.Fatalf("message mangled in transit:\n want %+v\n  got %+v", want, got)
+		}
+		for i := range want.VT {
+			if got.VT[i] != want.VT[i] {
+				t.Fatalf("VT[%d] = %d, want %d", i, got.VT[i], want.VT[i])
+			}
+		}
+		for i := range want.Path {
+			if got.Path[i] != want.Path[i] {
+				t.Fatalf("Path[%d] = %d, want %d", i, got.Path[i], want.Path[i])
+			}
+		}
+		for i := range want.Stab {
+			if got.Stab[i] != want.Stab[i] {
+				t.Fatalf("Stab[%d] = %v, want %v", i, got.Stab[i], want.Stab[i])
+			}
+		}
+	}
+	backends := []struct {
+		name   string
+		attach func(t *testing.T) (a, b Endpoint)
+	}{
+		{"memory", func(t *testing.T) (Endpoint, Endpoint) {
+			mem := NewMemory(netsim.New(netsim.DefaultConfig()))
+			a, _ := mem.Attach(pid(1))
+			b, _ := mem.Attach(pid(2))
+			return a, b
+		}},
+		{"tcp", func(t *testing.T) (Endpoint, Endpoint) {
+			tn := NewTCP()
+			a, err := tn.Attach(pid(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { a.Close() })
+			b, err := tn.Attach(pid(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Close() })
+			return a, b
+		}},
+	}
+	for _, backend := range backends {
+		t.Run(backend.name, func(t *testing.T) {
+			a, b := backend.attach(t)
+
+			// Singleton frame, every field populated.
+			if err := a.Send(fullMsg()); err != nil {
+				t.Fatal(err)
+			}
+			checkEqual(t, fullMsg(), waitMsg(t, b))
+
+			// The same message inside a mixed batch.
+			sparse := &types.Message{Kind: types.KindHeartbeat, From: pid(1), To: pid(2)}
+			if err := a.SendBatch([]*types.Message{sparse, fullMsg(), sparse.Clone()}); err != nil {
+				t.Fatal(err)
+			}
+			got := waitFrame(t, b)
+			if len(got) != 3 {
+				t.Fatalf("batch of 3 arrived as frame of %d", len(got))
+			}
+			checkEqual(t, fullMsg(), got[1])
+			if got[0].Kind != types.KindHeartbeat || got[0].Payload != nil || got[0].Stab != nil {
+				t.Fatalf("sparse message mangled: %+v", got[0])
+			}
+
+			// A message at realistic maximum size round-trips intact.
+			big := fullMsg()
+			big.Payload = make([]byte, 1<<20)
+			for i := range big.Payload {
+				big.Payload[i] = byte(i)
+			}
+			if err := a.Send(big); err != nil {
+				t.Fatal(err)
+			}
+			gotBig := waitMsg(t, b)
+			if len(gotBig.Payload) != len(big.Payload) {
+				t.Fatalf("1MB payload arrived as %d bytes", len(gotBig.Payload))
+			}
+			for i := range big.Payload {
+				if gotBig.Payload[i] != big.Payload[i] {
+					t.Fatalf("payload corrupted at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPOversizedMessageRejectedAtSender pins the max-frame-size contract:
+// a single message whose encoding exceeds the frame limit must fail the Send
+// with an error at the sender instead of being written and killing the
+// receiver's connection (or worse, being silently truncated).
+func TestTCPOversizedMessageRejectedAtSender(t *testing.T) {
+	tn := NewTCP()
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	huge := &types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: make([]byte, wire.MaxFrameBytes+1)}
+	if err := a.Send(huge); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversized send err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// The connection (re-established as needed) still works for sane frames.
+	if err := a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte("ok")}); err != nil {
+		t.Fatalf("send after oversized rejection: %v", err)
+	}
+	if got := waitMsg(t, b); string(got.Payload) != "ok" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestTCPPartialReads dribbles an encoded frame into a raw connection a few
+// bytes at a time: the receiver must reassemble it across arbitrarily
+// fragmented reads (the length prefix and payload both arriving split).
+func TestTCPPartialReads(t *testing.T) {
+	tn := NewTCP()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	addr, _ := tn.PeerAddr(pid(2))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := &types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte("dribbled")}
+	payload := wire.AppendFrame(nil, []*types.Message{msg}, types.ProcessID{}, "")
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+
+	// Write in 3-byte dribbles with tiny pauses so the reader observes
+	// genuinely partial reads, including a split length prefix.
+	for i := 0; i < len(frame); i += 3 {
+		end := i + 3
+		if end > len(frame) {
+			end = len(frame)
+		}
+		if _, err := conn.Write(frame[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := waitMsg(t, b); string(got.Payload) != "dribbled" {
+		t.Fatalf("got %v", got)
+	}
+
+	// A second frame on the same dribbled connection still decodes (stream
+	// state survives frame boundaries).
+	if _, err := conn.Write(frame[:7]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if _, err := conn.Write(frame[7:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitMsg(t, b); string(got.Payload) != "dribbled" {
+		t.Fatalf("second frame: got %v", got)
+	}
+}
+
+// TestTCPCorruptStreamDropsConnection feeds a hostile length prefix and
+// checks the receiver survives (drops the connection, keeps serving others).
+func TestTCPCorruptStreamDropsConnection(t *testing.T) {
+	tn := NewTCP()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr, _ := tn.PeerAddr(pid(2))
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Length prefix far beyond the frame limit.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint must remain usable: a well-formed sender still gets through.
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte("alive")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitMsg(t, b); string(got.Payload) != "alive" {
+		t.Fatalf("got %v", got)
 	}
 }
 

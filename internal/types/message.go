@@ -20,7 +20,7 @@ const (
 
 	// Group multicast data path.
 	KindCast    // ordered multicast payload (FIFO/causal/total per header)
-	KindCastAck // receiver acknowledgement used for resiliency accounting
+	KindCastAck // legacy per-cast acknowledgement (PerCastAck mode only; cumulative watermarks replaced it)
 	KindOrder   // sequencer order announcement for ABCAST
 
 	// Failure detection.

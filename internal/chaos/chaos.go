@@ -120,6 +120,22 @@ type Profile struct {
 	// SettleTimeout bounds the post-timeline quiesce (waiting for
 	// deliveries and view changes to stop).
 	SettleTimeout time.Duration
+
+	// Service switches the scenario to hierarchy mode: instead of flat
+	// workload groups, every node joins one hierarchical service and the
+	// workload issues tree broadcasts and leaf-routed requests while the
+	// fault timeline churns leaves, leader members and representatives.
+	Service bool
+	// ServiceFanout is the tree fanout bound for service scenarios.
+	ServiceFanout int
+	// ServiceResiliency is the subgroup resiliency for service scenarios.
+	ServiceResiliency int
+	// BroadcastsPerStep is how many tree broadcasts each live member issues
+	// per step in service scenarios.
+	BroadcastsPerStep int
+	// RequestsPerStep is how many leaf-routed client requests are issued per
+	// step in service scenarios.
+	RequestsPerStep int
 }
 
 // DefaultProfile is the standard chaos mix: a mid-size cluster, every fault
@@ -184,9 +200,50 @@ func SoakProfile() Profile {
 	return p
 }
 
+// ServiceProfile is the hierarchy profile: every node joins one service,
+// the workload issues tree broadcasts and leaf-routed requests, and the
+// checkers verify exactly-once tree delivery, request integrity and
+// leader-tree agreement on top of the flat-group invariants of the
+// hierarchy's internal groups.
+func ServiceProfile() Profile {
+	return Profile{
+		Name:         "service",
+		Nodes:        7,
+		Steps:        14,
+		StepInterval: 10 * time.Millisecond,
+
+		Service:           true,
+		ServiceFanout:     3,
+		ServiceResiliency: 2,
+		BroadcastsPerStep: 2,
+		RequestsPerStep:   2,
+
+		MaxCrashes:  2,
+		CrashProb:   0.10,
+		RestartProb: 0.30,
+
+		PartitionProb:  0.05,
+		PartitionSteps: 2,
+
+		LossProb:       0.08,
+		MaxLossRate:    0.05,
+		DelayProb:      0.08,
+		MaxDelay:       2 * time.Millisecond,
+		DupProb:        0.10,
+		MaxDupRate:     0.20,
+		ReorderProb:    0.08,
+		MaxReorderRate: 0.15,
+		ReorderDelay:   2 * time.Millisecond,
+		BurstSteps:     3,
+
+		LossyFraction: 0.5,
+		SettleTimeout: 20 * time.Second,
+	}
+}
+
 // ProfileNames lists the built-in profile names, in the order they are
 // documented.
-func ProfileNames() []string { return []string{"smoke", "default", "soak"} }
+func ProfileNames() []string { return []string{"smoke", "default", "soak", "service"} }
 
 // LookupProfile resolves a named built-in profile, reporting whether the
 // name is known.
@@ -198,6 +255,8 @@ func LookupProfile(name string) (Profile, bool) {
 		return DefaultProfile(), true
 	case "soak":
 		return SoakProfile(), true
+	case "service":
+		return ServiceProfile(), true
 	default:
 		return Profile{}, false
 	}

@@ -155,6 +155,49 @@ func TestChaosSeeds(t *testing.T) {
 	}
 }
 
+// serviceSeedCount reads CHAOS_SERVICE_SEEDS (how many hierarchy seeds
+// TestServiceChaosSeeds fuzzes); the CI chaos-smoke job and the nightly soak
+// raise it, the default keeps plain `go test ./...` quick.
+func serviceSeedCount() int {
+	if v := os.Getenv("CHAOS_SERVICE_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// TestServiceChaosSeeds fuzzes the hierarchy: seeded scenarios drive one
+// large-group service through leaf-member churn, leader crashes,
+// representative crashes mid-treecast and partitions, then grade tree
+// broadcasts (exactly-once + completeness), leaf-routed requests, leader
+// agreement and the flat invariants of the hierarchy's internal groups.
+// Failing seeds replay with -profile=service, same contract as the flat
+// seeds.
+func TestServiceChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	profile := chaos.ServiceProfile()
+	n := serviceSeedCount()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.Generate(seed, profile))
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			if res.Failed() {
+				reportFailure(t, res)
+			}
+			if res.Deliveries == 0 {
+				t.Errorf("scenario delivered nothing: %s", res)
+			}
+		})
+	}
+}
+
 // TestChaosReplay runs exactly one scenario, selected by -seed/-profile, and
 // prints its hash; with the default seed it doubles as a single smoke run.
 func TestChaosReplay(t *testing.T) {

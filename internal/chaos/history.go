@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"repro/internal/group"
@@ -98,6 +99,27 @@ func (h *History) Deliveries(gk string) []DeliveryRec {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]DeliveryRec(nil), h.deliveries[gk]...)
+}
+
+// GroupKeys returns every group key this history has observed (views or
+// deliveries), sorted. Service scenarios use it to enumerate the hierarchy's
+// internal flat groups, whose ids are assigned dynamically.
+func (h *History) GroupKeys() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := make(map[string]bool)
+	for k := range h.views {
+		seen[k] = true
+	}
+	for k := range h.deliveries {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Counts returns how many views and deliveries have been recorded.

@@ -85,6 +85,10 @@ func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 	for i := range slotPID {
 		slotPID[i] = isis.Site(uint32(i + 1))
 	}
+	base := s.Profile.Nodes
+	if s.Profile.Service {
+		base++ // service scenarios spawn the client at site Nodes+1
+	}
 	restartN := 0
 	for _, e := range s.Events {
 		switch e.Kind {
@@ -92,7 +96,7 @@ func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 			plan = append(plan, netsim.FaultEvent{Step: e.Step, Kind: netsim.FaultCrash, Proc: slotPID[e.Node]})
 		case EvRestart:
 			restartN++
-			slotPID[e.Node] = isis.Site(uint32(s.Profile.Nodes + restartN))
+			slotPID[e.Node] = isis.Site(uint32(base + restartN))
 			restarts = append(restarts, e)
 		case EvPartition:
 			plan = append(plan, netsim.FaultEvent{Step: e.Step, Kind: netsim.FaultPartition, Proc: slotPID[e.Node], Partition: e.Side})
@@ -118,6 +122,9 @@ func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 // failures (the cluster could not even be built); invariant breaches are
 // reported in Result.Violations.
 func Run(s Scenario) (*Result, error) {
+	if s.Profile.Service {
+		return runService(s)
+	}
 	p := s.Profile
 	start := time.Now()
 	res := &Result{Scenario: s, Hash: s.Hash()}
@@ -326,16 +333,21 @@ func castPayload(site uint32, o types.Ordering, step, k int) []byte {
 // settled between two recovery rounds would snapshot histories mid-repair
 // and report divergence the protocol was about to close, which is exactly
 // what happens under heavy -race parallelism if the floor is tight.
-func quiesce(rec *recorder, p Profile) {
+func quiesce(rec *recorder, p Profile) { quiesceCount(rec.eventCount, p) }
+
+// quiesceCount is the generic quiesce loop over any monotone event counter;
+// the service runner feeds it the flat-group count plus tree-broadcast
+// deliveries.
+func quiesceCount(count func() int, p Profile) {
 	quiet := 5 * p.StepInterval
 	if quiet < 250*time.Millisecond {
 		quiet = 250 * time.Millisecond
 	}
 	deadline := time.Now().Add(p.SettleTimeout)
-	last, lastChange := rec.eventCount(), time.Now()
+	last, lastChange := count(), time.Now()
 	for time.Now().Before(deadline) {
 		time.Sleep(quiet / 5)
-		if n := rec.eventCount(); n != last {
+		if n := count(); n != last {
 			last, lastChange = n, time.Now()
 			continue
 		}

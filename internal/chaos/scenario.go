@@ -254,7 +254,7 @@ func Generate(seed int64, p Profile) Scenario {
 // full event timeline, so equal encodings mean byte-identical runs at the
 // scenario level.
 func (s Scenario) Encode() []byte {
-	b := []byte("isis-chaos-scenario-v1\n")
+	b := []byte("isis-chaos-scenario-v2\n")
 	u64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
 	i64 := func(v int64) { u64(uint64(v)) }
 	str := func(v string) {
@@ -289,6 +289,15 @@ func (s Scenario) Encode() []byte {
 	i64(int64(p.BurstSteps))
 	u64(math.Float64bits(p.LossyFraction))
 	i64(int64(p.SettleTimeout))
+	if p.Service {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	i64(int64(p.ServiceFanout))
+	i64(int64(p.ServiceResiliency))
+	i64(int64(p.BroadcastsPerStep))
+	i64(int64(p.RequestsPerStep))
 	if s.Lossy {
 		b = append(b, 1)
 	} else {

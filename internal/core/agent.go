@@ -8,6 +8,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/member"
 	"repro/internal/node"
+	"repro/internal/reliability"
 	"repro/internal/treecast"
 	"repro/internal/types"
 )
@@ -28,9 +29,28 @@ type Agent struct {
 	tree           *Tree
 	leaderContacts []types.ProcessID
 	moving         bool
+	leaderJoining  bool
 	closed         bool
 	reqCounter     uint64
 	pendingAggs    map[uint64]*aggState
+
+	// Hierarchy recovery state (actor-owned; see recovery.go). trk tracks
+	// every tree-broadcast record by origin — duplicate filter, gap NAKs,
+	// retransmit buffer; it is driven by SetFloor, never Report/Advance.
+	// bcastSeq numbers this process's own broadcasts; leafWater is the
+	// initiator's per-leaf acknowledged watermark table; doneStages caches
+	// completed forwarding stages for re-acks; stageCorr maps in-progress
+	// records to their pending aggregation; nakRR rotates NAK targets.
+	trk           *reliability.Tracker
+	relStats      *reliability.Stats
+	recoveryTicks uint64
+	bcastSeq      uint64
+	leafWater     map[string]uint64
+	moverWater    map[types.ProcessID]moverMark
+	doneStages    map[recordKey]doneStage
+	stageCorr     map[recordKey]uint64
+	nakRR         map[types.ProcessID]int
+	recoveryStop  func()
 
 	// Statistics (actor-owned; snapshots taken via Stats).
 	statRequestsHandled uint64
@@ -50,15 +70,42 @@ type aggState struct {
 	origin *types.Message // non-nil on the initiator: the request to answer
 	parent types.ProcessID
 	leafID types.GroupID
+	rec    record // the broadcast being forwarded
+
+	// children mirrors the aggregator's outstanding set with the plan and
+	// per-child contact cursor the retry timer needs; waters collects each
+	// acknowledged subtree's minimum receive watermark.
+	children map[string]*childState
+	waters   map[string]uint64
+
+	retryTicks int
+	retries    int
+	failed     bool   // a subtree was given up: ack with a zero watermark
+	cancel     func() // pending OpTimeout backstop
+}
+
+// childState is one child stage plus the rotating contact cursor its
+// re-sends fail over with.
+type childState struct {
+	stage  *treecast.Stage
+	cursor int
 }
 
 func newAgent(h *Host, name string, cfg Config) *Agent {
-	return &Agent{
+	a := &Agent{
 		host:        h,
 		name:        name,
 		cfg:         cfg,
 		pendingAggs: make(map[uint64]*aggState),
+		relStats:    &reliability.Stats{},
+		leafWater:   make(map[string]uint64),
+		moverWater:  make(map[types.ProcessID]moverMark),
+		doneStages:  make(map[recordKey]doneStage),
+		stageCorr:   make(map[recordKey]uint64),
+		nakRR:       make(map[types.ProcessID]int),
 	}
+	a.trk = reliability.NewTracker(h.stack.Node().PID(), nil, a.relStats)
+	return a
 }
 
 // Name returns the large group's name.
@@ -105,6 +152,22 @@ type Stats struct {
 	RequestsHandled uint64
 	CohortCopies    uint64
 	Broadcasts      uint64
+}
+
+// LeafID returns the id of the leaf subgroup this process currently belongs
+// to (zero value before the agent has been placed).
+func (a *Agent) LeafID() types.GroupID {
+	var id types.GroupID
+	_ = a.stackNode().Call(func() { id = a.leafID })
+	return id
+}
+
+// RecoveryStats returns the hierarchy recovery layer's counters — the
+// NAK/retransmit and pruning work done for tree broadcasts on this process.
+func (a *Agent) RecoveryStats() reliability.Stats {
+	var s reliability.Stats
+	_ = a.stackNode().Call(func() { s = *a.relStats })
+	return s
 }
 
 // Stats returns the agent's counters.
@@ -228,7 +291,8 @@ func (a *Agent) joinLeaf(ctx context.Context, leafID types.GroupID, contacts []t
 	return nil, lastErr
 }
 
-// adopt installs the leaf/leader group references.
+// adopt installs the leaf/leader group references and starts the hierarchy
+// recovery timer.
 func (a *Agent) adopt(leaf *group.Group, leafID types.GroupID, leader *group.Group) error {
 	err := a.stackNode().Call(func() {
 		a.leaf = leaf
@@ -238,6 +302,9 @@ func (a *Agent) adopt(leaf *group.Group, leafID types.GroupID, leader *group.Gro
 			if a.tree == nil {
 				a.tree = NewTree(a.name, a.cfg.Fanout)
 			}
+		}
+		if a.recoveryStop == nil {
+			a.recoveryStop = a.stackNode().Every(a.cfg.RecoveryInterval, a.onRecoveryTick)
 		}
 	})
 	if err != nil {
@@ -257,6 +324,10 @@ func (a *Agent) Leave(ctx context.Context) error {
 	_ = a.stackNode().Call(func() {
 		leaf, leader = a.leaf, a.leader
 		a.closed = true
+		if a.recoveryStop != nil {
+			a.recoveryStop()
+			a.recoveryStop = nil
+		}
 	})
 	var firstErr error
 	if leaf != nil && !leaf.Closed() {
@@ -284,12 +355,25 @@ func (a *Agent) leafGroupConfig(leafID types.GroupID) group.Config {
 		OnDeliver: func(d group.Delivery) {
 			a.onLeafDelivery(d)
 		},
+		// The transfer hands a joiner the treecast tracker's buffered records
+		// and watermarks: a member relocating between leaves (dissolved by a
+		// merge, moved by the leader) would otherwise permanently miss every
+		// broadcast the destination leaf delivered while it was in flight.
+		StateProvider: func() []byte {
+			return a.encodeRecoveryState()
+		},
+		StateReceiver: func(b []byte) {
+			a.applyRecoveryState(b)
+		},
 	}
 }
 
 func (a *Agent) leaderGroupConfig() group.Config {
 	return group.Config{
 		Resiliency: a.cfg.Resiliency,
+		OnView: func(v member.View) {
+			a.onLeaderView(v)
+		},
 		OnDeliver: func(d group.Delivery) {
 			a.onLeaderDelivery(d)
 		},
@@ -350,23 +434,34 @@ func (a *Agent) onLeafDelivery(d group.Delivery) {
 		// coordinator failure re-executes from these.
 		a.statCohortCopies++
 	case tagBroadcast:
-		a.statBroadcasts++
-		if a.cfg.OnBroadcast != nil {
-			a.cfg.OnBroadcast(payload)
+		// The payload is a broadcast record; noteRecord dedups across the
+		// arrival paths (our representative delivered its copy at stage
+		// time, a repair may have beaten the cast here) and delivers the
+		// first copy to the application.
+		if rec, ok := decodeRecord(payload); ok {
+			a.noteRecord(rec)
 		}
 	case tagAppCast:
 		if a.cfg.OnLeafDeliver != nil {
 			a.cfg.OnLeafDeliver(d.From, payload)
+		}
+	case tagLeaderUpdate:
+		if pids, _, ok := decodePIDs(payload); ok && len(pids) > 0 {
+			a.leaderContacts = pids
 		}
 	}
 }
 
 // onLeaderDelivery applies tree replication casts within the leader group.
 func (a *Agent) onLeaderDelivery(d group.Delivery) {
-	if a.leader == nil {
+	if a.closed {
 		return
 	}
-	if a.leader.CurrentView().Coordinator() == a.stackNode().PID() {
+	// a.leader is still nil while a recruited member is mid-adoption
+	// (joinLeaderAsync); such a member is certainly not the coordinator, and
+	// dropping the replication cast here would leave it on the state-transfer
+	// snapshot until the next tree change.
+	if a.leader != nil && a.leader.CurrentView().Coordinator() == a.stackNode().PID() {
 		return // the coordinator's copy is authoritative
 	}
 	if t, err := DecodeTree(d.Payload); err == nil {
@@ -385,6 +480,169 @@ func (a *Agent) replicateTree() {
 	a.leader.CastAsync(types.Total, a.tree.Encode())
 }
 
+// --- leader-group replenishment ---------------------------------------------------
+//
+// Leader-group membership originally only grew at join time, so every leader
+// crash shrank the group permanently — and once the last leader died the
+// whole hierarchy was headless: no tree, no placement, no broadcast
+// initiation, even with most members alive. The chaos soak surfaced exactly
+// that (two spaced crashes with LeaderSize 2). The coordinator now recruits
+// replacements from the leaf contacts whenever the leader view falls below
+// LeaderSize, and pushes the refreshed contact list down to the leaves so
+// non-leader members stop forwarding to dead leaders.
+
+// onLeaderView runs on the actor goroutine whenever the leader group
+// installs a new view: every leader refreshes its contact cache, and the
+// coordinator recruits replacements and republishes the contacts.
+func (a *Agent) onLeaderView(v member.View) {
+	if a.closed || v.Size() == 0 {
+		return
+	}
+	a.leaderContacts = types.CopyProcesses(v.Members)
+	if v.Coordinator() == a.stackNode().PID() {
+		a.replenishLeaders(v)
+		a.pushLeaderContacts(v)
+		// Re-replicate on every membership change: a recruit's state
+		// transfer may have come from a stale member, and the authoritative
+		// copy otherwise only travels on the next tree mutation.
+		a.replicateTree()
+	}
+}
+
+// replenishLeaders invites members (picked from the tree's leaf contacts)
+// into the leader group until it is back at LeaderSize. Invites are
+// idempotent on the receiving side, so re-sending after a lost invite is
+// safe; a synchronous send error rotates to the next candidate.
+func (a *Agent) replenishLeaders(lv member.View) {
+	need := a.cfg.LeaderSize - lv.Size()
+	if need <= 0 || a.tree == nil {
+		return
+	}
+	self := a.stackNode().PID()
+	for _, l := range a.tree.Leaves {
+		for _, p := range l.Contacts {
+			if p == self || lv.Contains(p) {
+				continue
+			}
+			err := a.stackNode().Send(p, &types.Message{
+				Kind:  types.KindHLeaderInvite,
+				Group: types.BranchGroup(a.name),
+			})
+			if err != nil {
+				continue
+			}
+			if need--; need == 0 {
+				return
+			}
+		}
+	}
+}
+
+// pushLeaderContacts sends the current leader membership to every leaf
+// contact in the tree; leaf coordinators relay it leaf-wide as an ordinary
+// leaf cast, so even members the tree does not name stop pointing at dead
+// leaders.
+func (a *Agent) pushLeaderContacts(lv member.View) {
+	if a.tree == nil {
+		return
+	}
+	self := a.stackNode().PID()
+	payload := encodePIDs(nil, lv.Members)
+	for _, l := range a.tree.Leaves {
+		for _, p := range l.Contacts {
+			if p == self || lv.Contains(p) {
+				continue
+			}
+			_ = a.stackNode().Send(p, &types.Message{
+				Kind:    types.KindHLeaderUpdate,
+				Group:   types.BranchGroup(a.name),
+				Payload: payload,
+			})
+		}
+	}
+	// The coordinator's own leaf learns through its leaf cast.
+	if a.leaf != nil && !a.leaf.Closed() && a.leaf.Size() > 1 {
+		a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagLeaderUpdate, 0, payload))
+	}
+}
+
+// onLeaderInvite accepts a recruitment into the leader group. The join
+// blocks, so it runs on its own goroutine; leaderJoining keeps duplicate
+// invites from racing each other.
+func (a *Agent) onLeaderInvite(m *types.Message) {
+	if a.closed || a.leaderJoining {
+		return
+	}
+	if a.leader != nil && !a.leader.Closed() {
+		return // already a leader
+	}
+	a.leaderJoining = true
+	contact := m.From
+	go a.joinLeaderAsync(contact)
+}
+
+func (a *Agent) joinLeaderAsync(contact types.ProcessID) {
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.OpTimeout)
+	defer cancel()
+	lg, err := a.host.stack.Join(ctx, types.LeaderGroup(a.name), contact, a.leaderGroupConfig())
+	var adopted bool
+	_ = a.stackNode().Call(func() {
+		a.leaderJoining = false
+		if err != nil || a.closed {
+			return
+		}
+		a.leader = lg
+		if a.tree == nil {
+			// The coordinator's state transfer normally arrives with the
+			// install; an empty tree is a safe fallback until the next
+			// replication cast.
+			a.tree = NewTree(a.name, a.cfg.Fanout)
+		}
+		adopted = true
+	})
+	if err == nil && !adopted && lg != nil && !lg.Closed() {
+		_ = lg.Leave(ctx) // the agent closed while we were joining
+	}
+	if adopted {
+		a.mu.Lock()
+		a.snapLead = true
+		a.mu.Unlock()
+	}
+}
+
+// onLeaderUpdate refreshes this member's leader contacts from the
+// coordinator's push and relays the list into the local leaf if this member
+// coordinates it.
+func (a *Agent) onLeaderUpdate(m *types.Message) {
+	if a.closed {
+		return
+	}
+	pids, _, ok := decodePIDs(m.Payload)
+	if !ok || len(pids) == 0 {
+		return
+	}
+	if samePIDs(a.leaderContacts, pids) {
+		return // periodic re-push with nothing new: don't re-relay
+	}
+	a.leaderContacts = pids
+	if a.leaf != nil && !a.leaf.Closed() && a.leaf.Size() > 1 &&
+		a.leaf.CurrentView().Coordinator() == a.stackNode().PID() {
+		a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagLeaderUpdate, 0, m.Payload))
+	}
+}
+
+func samePIDs(a, b []types.ProcessID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // --- leader duties ---------------------------------------------------------------
 
 // leaderCoordinator reports whether this process currently coordinates the
@@ -394,24 +652,42 @@ func (a *Agent) leaderCoordinator() bool {
 		a.leader.CurrentView().Coordinator() == a.stackNode().PID()
 }
 
-// forwardToLeader relays a message towards the leader coordinator. Returns
-// false if no forwarding destination is known.
+// forwardToLeader relays a message towards the leader coordinator: the
+// leader view's coordinator first, then the remaining leader members, then
+// the cached contacts — a crashed coordinator (synchronous send error) no
+// longer strands traffic from non-leader members. Returns false if nothing
+// accepted the message.
 func (a *Agent) forwardToLeader(m *types.Message) bool {
 	self := a.stackNode().PID()
-	var dest types.ProcessID
-	if a.leader != nil && !a.leader.Closed() {
-		dest = a.leader.CurrentView().Coordinator()
-	} else if len(a.leaderContacts) > 0 {
-		dest = a.leaderContacts[0]
-	}
-	if dest.IsNil() || dest == self {
-		return false
-	}
 	fwd := m.Clone()
 	if fwd.ReplyTo.IsNil() {
 		fwd.ReplyTo = m.From
 	}
-	return a.stackNode().Send(dest, fwd) == nil
+	var tried []types.ProcessID
+	try := func(dest types.ProcessID) bool {
+		if dest.IsNil() || dest == self || types.ContainsProcess(tried, dest) {
+			return false
+		}
+		tried = append(tried, dest)
+		return a.stackNode().Send(dest, fwd.Clone()) == nil
+	}
+	if a.leader != nil && !a.leader.Closed() {
+		lv := a.leader.CurrentView()
+		if try(lv.Coordinator()) {
+			return true
+		}
+		for _, p := range lv.Members {
+			if try(p) {
+				return true
+			}
+		}
+	}
+	for _, dest := range a.leaderContacts {
+		if try(dest) {
+			return true
+		}
+	}
+	return false
 }
 
 // onJoinRequest handles a placement request for a joining process.
@@ -426,7 +702,19 @@ func (a *Agent) onJoinRequest(m *types.Message) {
 	if joiner.IsNil() {
 		joiner = m.From
 	}
-	pl := placement{LeaderGroup: types.LeaderGroup(a.name), LeaderContacts: []types.ProcessID{a.stackNode().PID()}}
+	// Hand the joiner the full current leader view (answering coordinator
+	// first), not just one contact: a joiner that only ever knew the
+	// placement coordinator was stranded when that one process died.
+	self := a.stackNode().PID()
+	contacts := []types.ProcessID{self}
+	if a.leader != nil && !a.leader.Closed() {
+		for _, p := range a.leader.CurrentView().Members {
+			if p != self {
+				contacts = append(contacts, p)
+			}
+		}
+	}
+	pl := placement{LeaderGroup: types.LeaderGroup(a.name), LeaderContacts: contacts}
 
 	target, ok := a.tree.Place()
 	if !ok || target.Size >= a.cfg.MaxLeafSize {
@@ -469,6 +757,12 @@ func (a *Agent) onLeafReport(m *types.Message) {
 		contacts = contacts[:a.cfg.Resiliency]
 	}
 	a.tree.Update(r.Leaf, size, contacts)
+	// Members named by a leaf report have landed: the leaf-group state
+	// transfer has handed them the buffered records, so their relocation
+	// pins can stop holding the floor.
+	for _, p := range r.Members {
+		delete(a.moverWater, p)
+	}
 
 	switch {
 	case size > a.cfg.MaxLeafSize:
@@ -491,6 +785,7 @@ func (a *Agent) splitLeaf(r leafReport) {
 		return
 	}
 	movers := r.Members[len(r.Members)-moverCount:]
+	a.pinMovers(r.Leaf, movers)
 	info := a.tree.AddLeaf(movers[0])
 	for i, p := range movers {
 		d := directive{Leaf: info.ID}
@@ -529,6 +824,7 @@ func (a *Agent) mergeLeaf(r leafReport) {
 	if !found {
 		return
 	}
+	a.pinMovers(r.Leaf, r.Members)
 	for _, p := range r.Members {
 		a.sendDirective(p, directive{Leaf: target.ID, Contacts: target.Contacts})
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/node"
 	"repro/internal/types"
@@ -22,6 +23,13 @@ type Client struct {
 	node  *node.Node
 	name  string
 	entry types.ProcessID
+
+	// AttemptTimeout bounds each individual routing attempt inside Request,
+	// so a crashed or silently dead server fails one attempt instead of
+	// consuming the caller's whole deadline; Request then invalidates the
+	// cached server and re-routes. Set it before the first Request.
+	// Default 2s.
+	AttemptTimeout time.Duration
 
 	mu     sync.Mutex
 	cached types.ProcessID // leaf coordinator that served the last request
@@ -42,15 +50,21 @@ func (c *Client) SetEntry(entry types.ProcessID) {
 }
 
 // Request sends a request to the service and returns the reply produced by
-// the leaf coordinator that handled it.
+// the leaf coordinator that handled it. Each attempt is individually
+// bounded by AttemptTimeout; a failed attempt invalidates the cached leaf
+// coordinator and re-routes through the entry point, which assigns a fresh
+// leaf — so a crashed (or silently dead) server costs one attempt, not the
+// whole call. Without a caller deadline the retries are capped rather than
+// unbounded.
 func (c *Client) Request(ctx context.Context, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	target := c.cached
-	entry := c.entry
-	c.mu.Unlock()
-
+	attemptTimeout := c.AttemptTimeout
+	if attemptTimeout <= 0 {
+		attemptTimeout = 2 * time.Second
+	}
 	tryOne := func(dest types.ProcessID) ([]byte, types.ProcessID, error) {
-		reply, err := c.node.Request(ctx, dest, &types.Message{
+		sub, cancel := context.WithTimeout(ctx, attemptTimeout)
+		defer cancel()
+		reply, err := c.node.Request(sub, dest, &types.Message{
 			Kind:    types.KindHRoute,
 			Group:   types.BranchGroup(c.name),
 			Hop:     0,
@@ -62,23 +76,45 @@ func (c *Client) Request(ctx context.Context, payload []byte) ([]byte, error) {
 		return reply.Payload, reply.From, nil
 	}
 
-	if !target.IsNil() {
-		if out, from, err := tryOne(target); err == nil {
+	maxAttempts := 0 // unbounded while the caller's deadline is live
+	if _, ok := ctx.Deadline(); !ok {
+		maxAttempts = 8
+	}
+	var lastErr error
+	for attempt := 0; maxAttempts == 0 || attempt < maxAttempts; attempt++ {
+		c.mu.Lock()
+		dest := c.cached
+		if dest.IsNil() {
+			dest = c.entry
+		}
+		c.mu.Unlock()
+
+		out, from, err := tryOne(dest)
+		if err == nil {
 			c.remember(from)
 			return out, nil
 		}
-		// The cached leaf coordinator is gone or no longer serving: fall
-		// back to the entry point.
+		lastErr = err
+		// The server is gone or no longer serving: drop it from the cache so
+		// the next attempt re-routes through the entry point.
 		c.mu.Lock()
-		c.cached = types.NilProcess
+		if c.cached == dest {
+			c.cached = types.NilProcess
+		}
 		c.mu.Unlock()
+		if ctx.Err() != nil {
+			break
+		}
+		// Brief pause so a synchronously failing entry point does not spin.
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	out, from, err := tryOne(entry)
-	if err != nil {
-		return nil, fmt.Errorf("request to %q: %w", c.name, err)
-	}
-	c.remember(from)
-	return out, nil
+	return nil, fmt.Errorf("request to %q: %w", c.name, lastErr)
 }
 
 func (c *Client) remember(leafCoord types.ProcessID) {

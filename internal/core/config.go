@@ -49,6 +49,26 @@ type Config struct {
 	// OpTimeout bounds internal blocking operations (relocations, tree
 	// broadcast acknowledgement waits). Default 5s.
 	OpTimeout time.Duration
+
+	// RecoveryInterval is the period of the per-agent hierarchy recovery
+	// timer driving treecast stage retries and gap NAKs. Default 25ms.
+	RecoveryInterval time.Duration
+	// NakTicks is how many recovery ticks a gap in the tree-broadcast
+	// sequence must persist before this member NAKs for the missing records.
+	// NAKs are staggered by leaf rank, so the leaf coordinator usually
+	// repairs the gap for the whole leaf before anyone else asks. Default 2.
+	NakTicks int
+	// StageRetryTicks is how many recovery ticks pass between re-sends of an
+	// unacknowledged treecast stage (each re-send rotates to the leaf's next
+	// contact, which is what recovers from a black-holed representative).
+	// Default 4.
+	StageRetryTicks int
+	// StageRetries caps how many times a forwarder re-sends one stage before
+	// giving the subtree up (it still acknowledges partial coverage upward,
+	// and the NAK path keeps repairing members that come back). -1 disables
+	// stage retries entirely — directed tests use it to isolate the NAK
+	// path. Default 3.
+	StageRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,8 +96,26 @@ func (c Config) withDefaults() Config {
 	if c.LeaderSize <= 0 {
 		c.LeaderSize = c.Resiliency
 	}
+	if c.Ordering == types.Unordered {
+		// The zero value would deliver leaf casts in arrival order, which
+		// breaks the per-sender FIFO prefix the hierarchy's consumers (and
+		// the chaos checkers) rely on under reordering faults.
+		c.Ordering = types.FIFO
+	}
 	if c.OpTimeout <= 0 {
 		c.OpTimeout = 5 * time.Second
+	}
+	if c.RecoveryInterval <= 0 {
+		c.RecoveryInterval = 25 * time.Millisecond
+	}
+	if c.NakTicks <= 0 {
+		c.NakTicks = 2
+	}
+	if c.StageRetryTicks <= 0 {
+		c.StageRetryTicks = 4
+	}
+	if c.StageRetries == 0 {
+		c.StageRetries = 3
 	}
 	return c
 }
@@ -102,10 +140,11 @@ func (c Config) Validate() error {
 type leafCastTag byte
 
 const (
-	tagCCRequest leafCastTag = 1 + iota // coordinator-cohort request replica
-	tagCCResult                         // coordinator-cohort result replica
-	tagBroadcast                        // whole-group tree broadcast payload
-	tagAppCast                          // application-level leaf multicast
+	tagCCRequest    leafCastTag = 1 + iota // coordinator-cohort request replica
+	tagCCResult                            // coordinator-cohort result replica
+	tagBroadcast                           // whole-group tree broadcast payload
+	tagAppCast                             // application-level leaf multicast
+	tagLeaderUpdate                        // refreshed leader contacts relayed leaf-wide
 )
 
 func encodeLeafCast(tag leafCastTag, corr uint64, payload []byte) []byte {
@@ -124,6 +163,60 @@ func decodeLeafCast(b []byte) (tag leafCastTag, corr uint64, payload []byte, ok 
 		return 0, 0, nil, false
 	}
 	return tag, corr, rest, true
+}
+
+// --- tree broadcast record ------------------------------------------------------
+
+// record is one whole-group broadcast as tracked by the hierarchy recovery
+// layer. Origin (the initiating leader coordinator) and Seq give each
+// broadcast the dense per-origin numbering the reliability tracker needs for
+// duplicate filtering and gap NAKs; Floor is the origin's cumulative
+// stability watermark — every current leaf has acknowledged records
+// 1..Floor — which lets every member prune its retransmit buffer. The
+// record rides inside stage frames, inside the tagBroadcast leaf casts, and
+// verbatim in KindTreeCastRepair retransmissions, so a member can dedup and
+// repair no matter which path a copy arrived by.
+type record struct {
+	Origin  types.ProcessID
+	Seq     uint64
+	Floor   uint64
+	Payload []byte
+}
+
+func encodeRecord(r record) []byte {
+	b := types.EncodeUint64(nil, uint64(r.Origin.Site))
+	b = types.EncodeUint64(b, uint64(r.Origin.Incarnation))
+	b = types.EncodeUint64(b, uint64(r.Origin.Index))
+	b = types.EncodeUint64(b, r.Seq)
+	b = types.EncodeUint64(b, r.Floor)
+	return append(b, r.Payload...)
+}
+
+func decodeRecord(b []byte) (record, bool) {
+	var r record
+	site, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	inc, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	idx, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	seq, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	floor, b, ok := types.DecodeUint64(b)
+	if !ok {
+		return r, false
+	}
+	r.Origin = types.ProcessID{Site: types.SiteID(site), Incarnation: uint32(inc), Index: uint32(idx)}
+	r.Seq, r.Floor, r.Payload = seq, floor, b
+	return r, true
 }
 
 // --- placement reply encoding ---------------------------------------------------

@@ -31,6 +31,10 @@ func NewHost(stack *group.Stack) *Host {
 	n.Handle(types.KindHRoute, h.route((*Agent).onRoute))
 	n.Handle(types.KindTreeCast, h.route((*Agent).onTreeCast))
 	n.Handle(types.KindTreeCastAck, h.route((*Agent).onTreeCastAck))
+	n.Handle(types.KindTreeCastNak, h.route((*Agent).onTreeCastNak))
+	n.Handle(types.KindTreeCastRepair, h.route((*Agent).onTreeCastRepair))
+	n.Handle(types.KindHLeaderInvite, h.route((*Agent).onLeaderInvite))
+	n.Handle(types.KindHLeaderUpdate, h.route((*Agent).onLeaderUpdate))
 	return h
 }
 

@@ -18,7 +18,10 @@ import (
 //   - whole-group broadcast: when every member really must be reached, the
 //     broadcast is forwarded along the fanout-bounded tree of leaf
 //     subgroups (internal/treecast) instead of one sender contacting every
-//     member directly.
+//     member directly. Loss, dead representatives and stale plans are
+//     recovered by the hierarchy recovery layer (recovery.go): stage
+//     retries with contact failover, cumulative stability watermarks on the
+//     ack path, and NAK/retransmit over broadcast records.
 
 // --- request routing ------------------------------------------------------------
 
@@ -150,6 +153,9 @@ func (a *Agent) onTreeCast(m *types.Message) {
 	a.forwardTreeCast(m)
 }
 
+// initiateTreeCast stamps the broadcast as a record — the next sequence
+// number of this origin's stream plus the current stability floor — plans
+// the forwarding tree, and runs (or delegates) the root stage.
 func (a *Agent) initiateTreeCast(m *types.Message) {
 	leaves := make([]treecast.LeafDescriptor, 0, a.tree.LeafCount())
 	for _, l := range a.tree.Leaves {
@@ -161,39 +167,40 @@ func (a *Agent) initiateTreeCast(m *types.Message) {
 		return
 	}
 	self := a.stackNode().PID()
+	a.bcastSeq++
+	rec := record{Origin: self, Seq: a.bcastSeq, Floor: a.currentFloor(), Payload: m.Payload}
 	if types.ContainsProcess(plan.Contacts, self) {
 		// The initiator is itself the root stage's representative (the usual
 		// case: the founder coordinates both the leader group and leaf 0), so
 		// it runs the root stage directly and answers the requester when the
 		// whole tree has acknowledged.
-		a.handleStage(plan, m.Payload, 0, m.Clone(), types.NilProcess)
+		a.handleStage(plan, rec, 0, m.Clone(), types.NilProcess)
 		return
 	}
 	// Otherwise hand the root stage to its representative and wait for its
-	// single acknowledgement.
+	// single acknowledgement. The initiator delivers (and buffers) its own
+	// record immediately; its leaf is covered by one of the plan's stages.
+	a.noteRecord(rec)
 	corr := a.stackNode().NextCorr()
 	agg := treecast.NewAggregator(corr, types.NilProcess, []*treecast.Stage{plan})
-	agg.LocalDone(0) // the initiator's own leaf is covered by the plan itself
-	st := &aggState{agg: agg, origin: m.Clone()}
-	a.pendingAggs[corr] = st
-
-	stage := &types.Message{
-		Kind:    types.KindTreeCast,
-		Group:   types.BranchGroup(a.name),
-		Hop:     1,
-		Corr:    corr,
-		Payload: append(types.EncodeString(nil, string(treecast.Encode(plan))), m.Payload...),
+	agg.LocalDone(0)
+	st := &aggState{
+		agg:      agg,
+		origin:   m.Clone(),
+		rec:      rec,
+		children: map[string]*childState{plan.Leaf.Key(): {stage: plan}},
+		waters:   make(map[string]uint64),
 	}
-	if err := a.sendStage(plan, stage); err != nil {
-		delete(a.pendingAggs, corr)
+	if err := a.sendStageTo(st.children[plan.Leaf.Key()], corr, rec); err != nil && a.cfg.StageRetries < 0 {
 		_ = a.stackNode().Reply(m, nil, err.Error())
 		return
 	}
-	a.armTreeCastTimeout(corr)
+	a.pendingAggs[corr] = st
+	st.cancel = a.armTreeCastTimeout(corr)
 }
 
 func (a *Agent) forwardTreeCast(m *types.Message) {
-	planStr, payload, ok := types.DecodeString(m.Payload)
+	planStr, rest, ok := types.DecodeString(m.Payload)
 	if !ok {
 		return
 	}
@@ -201,105 +208,232 @@ func (a *Agent) forwardTreeCast(m *types.Message) {
 	if err != nil || plan == nil {
 		return
 	}
-	a.handleStage(plan, payload, m.Corr, nil, m.From)
+	rec, ok := decodeRecord(rest)
+	if !ok {
+		return
+	}
+	a.handleStage(plan, rec, m.Corr, nil, m.From)
 }
 
 // handleStage runs one forwarding stage of a tree broadcast: deliver inside
 // the local leaf, forward to child stages, and acknowledge upward (to the
 // parent forwarder, or to the original requester when origin is set) once
-// everything below has acknowledged.
-func (a *Agent) handleStage(plan *treecast.Stage, payload []byte, upCorr uint64, origin *types.Message, parent types.ProcessID) {
+// everything below has acknowledged. Duplicate stage frames — a parent
+// retrying through us, or through us after another contact — are absorbed:
+// a completed stage re-acks from cache, an in-progress one re-targets its
+// eventual ack at the newest parent.
+func (a *Agent) handleStage(plan *treecast.Stage, rec record, upCorr uint64, origin *types.Message, parent types.ProcessID) {
+	key := recordKey{origin: rec.Origin, seq: rec.Seq}
+	fresh := a.noteRecord(rec)
+	if origin == nil {
+		if d, ok := a.doneStages[key]; ok {
+			a.sendStageAck(parent, upCorr, rec.Origin, d.leafPath, d.covered, d.water)
+			return
+		}
+		if corr, ok := a.stageCorr[key]; ok {
+			if st, live := a.pendingAggs[corr]; live {
+				st.agg.Corr = upCorr
+				st.parent = parent
+				return
+			}
+			delete(a.stageCorr, key)
+		}
+	}
 	// Downstream stages are re-correlated with a locally unique id so
 	// concurrent broadcasts from different initiators cannot collide in the
 	// pending table.
 	downCorr := a.stackNode().NextCorr()
 	agg := treecast.NewAggregator(upCorr, parent, plan.Children)
-	st := &aggState{agg: agg, origin: origin, parent: parent, leafID: plan.Leaf}
+	st := &aggState{
+		agg:      agg,
+		origin:   origin,
+		parent:   parent,
+		leafID:   plan.Leaf,
+		rec:      rec,
+		children: make(map[string]*childState, len(plan.Children)),
+		waters:   make(map[string]uint64, len(plan.Children)),
+	}
+	for _, c := range plan.Children {
+		st.children[c.Leaf.Key()] = &childState{stage: c}
+	}
 
-	// Deliver within our own leaf. If this process has moved away from the
-	// leaf named in the plan, it still delivers to the leaf it is in now; the
-	// leader's next plan will have caught up with the move.
+	// Deliver within our own leaf — but only for the first copy of the
+	// record; a duplicate frame means the leaf cast already went out (from
+	// us or from the contact the parent tried before us). If this process
+	// has moved away from the leaf named in the plan, it still delivers to
+	// the leaf it is in now; the leader's next plan will have caught up.
 	covered := 0
 	if a.leaf != nil && !a.leaf.Closed() {
-		a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagBroadcast, downCorr, payload))
+		if fresh {
+			a.leaf.CastAsync(a.cfg.Ordering, encodeLeafCast(tagBroadcast, downCorr, encodeRecord(rec)))
+		}
 		covered = a.leaf.Size()
 	}
 	done := agg.LocalDone(covered)
 
-	for _, child := range plan.Children {
-		msg := &types.Message{
-			Kind:    types.KindTreeCast,
-			Group:   types.BranchGroup(a.name),
-			Hop:     1,
-			Corr:    downCorr,
-			Payload: append(types.EncodeString(nil, string(treecast.Encode(child))), payload...),
-		}
-		if err := a.sendStage(child, msg); err != nil {
-			done = agg.ChildFailed(child.Leaf)
+	for _, cs := range st.children {
+		if err := a.sendStageTo(cs, downCorr, rec); err != nil {
+			// Every contact refused synchronously. With retries on, leave the
+			// child outstanding: the tree may simply be stale (a crash the
+			// leader has noticed but this plan predates), and the retry timer
+			// refreshes contacts from the live tree before trying again.
+			if a.cfg.StageRetries >= 0 {
+				continue
+			}
+			st.failed = true
+			done = agg.ChildFailed(cs.stage.Leaf)
 		}
 	}
 	if done {
-		a.ackTreeCast(st)
+		a.finishStage(st)
 		return
 	}
 	a.pendingAggs[downCorr] = st
-	a.armTreeCastTimeout(downCorr)
+	if origin == nil {
+		a.stageCorr[key] = downCorr
+	}
+	st.cancel = a.armTreeCastTimeout(downCorr)
 }
 
-// sendStage delivers a stage message to the first reachable contact of the
-// stage's leaf.
-func (a *Agent) sendStage(stage *treecast.Stage, msg *types.Message) error {
+// sendStageTo delivers a stage frame to the first reachable contact of one
+// child stage, starting at the child's rotating cursor. A synchronous send
+// error (crashed or partitioned contact) fails over to the next contact
+// immediately; a black-holed contact is only discovered by the retry timer,
+// which advances the cursor before calling back in.
+func (a *Agent) sendStageTo(cs *childState, corr uint64, rec record) error {
+	self := a.stackNode().PID()
+	msg := &types.Message{
+		Kind:    types.KindTreeCast,
+		Group:   types.BranchGroup(a.name),
+		Hop:     1,
+		Corr:    corr,
+		Payload: append(types.EncodeString(nil, string(treecast.Encode(cs.stage))), encodeRecord(rec)...),
+	}
+	n := len(cs.stage.Contacts)
 	var lastErr error = types.ErrNoSuchProcess
-	for _, c := range stage.Contacts {
-		if c == a.stackNode().PID() {
+	for i := 0; i < n; i++ {
+		idx := (cs.cursor + i) % n
+		c := cs.stage.Contacts[idx]
+		if c == self {
 			continue
 		}
 		if err := a.stackNode().Send(c, msg.Clone()); err == nil {
+			cs.cursor = idx
 			return nil
 		} else {
 			lastErr = err
 		}
 	}
-	return fmt.Errorf("tree cast stage %s: %w", stage.Leaf, lastErr)
+	return fmt.Errorf("tree cast stage %s: %w", cs.stage.Leaf, lastErr)
 }
 
+// onTreeCastAck folds one child subtree's acknowledgement into the pending
+// stage: coverage counts toward the aggregate, and the subtree's minimum
+// receive watermark (piggybacked in Stab) feeds the cumulative stability
+// computation.
 func (a *Agent) onTreeCastAck(m *types.Message) {
 	st, ok := a.pendingAggs[m.Corr]
 	if !ok {
 		return
 	}
 	leaf := types.LeafGroup(a.name, m.Path...)
+	if !st.agg.ChildOutstanding(leaf) {
+		return
+	}
+	if len(m.Stab) > 0 && m.Stab[0].Sender == st.rec.Origin {
+		st.waters[leaf.Key()] = m.Stab[0].Seq
+	}
 	if st.agg.ChildDone(leaf, int(m.Seq)) {
 		delete(a.pendingAggs, m.Corr)
-		a.ackTreeCast(st)
+		a.finishStage(st)
 	}
 }
 
-// ackTreeCast completes one stage: the initiator answers the original
-// requester, a forwarder acknowledges to its parent.
-func (a *Agent) ackTreeCast(st *aggState) {
+// finishStage completes one stage: the initiator absorbs the subtree
+// watermarks and answers the original requester; a forwarder caches the
+// outcome for re-acks and acknowledges to its parent with the minimum
+// watermark of its subtree. A stage that failed (unreachable or abandoned
+// children) reports a zero watermark — the initiator then keeps the floor
+// below the affected records until a later broadcast's ack path covers them.
+func (a *Agent) finishStage(st *aggState) {
+	if st.cancel != nil {
+		st.cancel()
+		st.cancel = nil
+	}
+	key := recordKey{origin: st.rec.Origin, seq: st.rec.Seq}
+	delete(a.stageCorr, key)
+	var water uint64
+	if !st.failed {
+		water = a.trk.Ctg(st.rec.Origin)
+		for _, cs := range st.children {
+			w, ok := st.waters[cs.stage.Leaf.Key()]
+			if !ok {
+				w = 0
+			}
+			if w < water {
+				water = w
+			}
+		}
+	}
 	if st.origin != nil {
+		a.absorbWaters(st)
 		_ = a.stackNode().Reply(st.origin, types.EncodeUint64(nil, uint64(st.agg.Covered())), "")
 		return
 	}
-	_ = a.stackNode().Send(st.parent, &types.Message{
+	a.doneStages[key] = doneStage{covered: st.agg.Covered(), water: water, leafPath: st.leafID.Path}
+	a.sendStageAck(st.parent, st.agg.Corr, st.rec.Origin, st.leafID.Path, st.agg.Covered(), water)
+}
+
+// absorbWaters runs on the initiator when a broadcast completes: every leaf
+// under a fully acknowledged child subtree has received the origin's records
+// up to the subtree's reported watermark, and the initiator's own leaf sits
+// at its own contiguous watermark. The per-leaf water table's minimum is the
+// floor later records carry down.
+func (a *Agent) absorbWaters(st *aggState) {
+	if a.leaf != nil && !a.leaf.Closed() {
+		a.raiseWater(a.leafID, a.trk.Ctg(st.rec.Origin))
+	}
+	for _, cs := range st.children {
+		w := st.waters[cs.stage.Leaf.Key()]
+		if w == 0 {
+			continue
+		}
+		for _, leaf := range treecast.Leaves(cs.stage) {
+			a.raiseWater(leaf, w)
+		}
+	}
+}
+
+// sendStageAck acknowledges one completed stage upward, carrying the
+// subtree's minimum receive watermark for the record's origin.
+func (a *Agent) sendStageAck(parent types.ProcessID, corr uint64, origin types.ProcessID, path []uint32, covered int, water uint64) {
+	if parent.IsNil() {
+		return
+	}
+	_ = a.stackNode().Send(parent, &types.Message{
 		Kind:  types.KindTreeCastAck,
 		Group: types.BranchGroup(a.name),
-		Corr:  st.agg.Corr,
-		Path:  append([]uint32(nil), st.leafID.Path...),
-		Seq:   uint64(st.agg.Covered()),
+		Corr:  corr,
+		Path:  append([]uint32(nil), path...),
+		Seq:   uint64(covered),
+		Stab:  []types.StabEntry{{Sender: origin, Seq: water}},
 	})
 }
 
 // armTreeCastTimeout makes sure a broadcast stage eventually acknowledges
-// upward even if part of its subtree never answers.
-func (a *Agent) armTreeCastTimeout(corr uint64) {
-	a.stackNode().After(a.cfg.OpTimeout, func() {
+// upward even if part of its subtree never answers; the stage is marked
+// failed so its ack carries a zero watermark and the floor stays put.
+func (a *Agent) armTreeCastTimeout(corr uint64) (cancel func()) {
+	return a.stackNode().After(a.cfg.OpTimeout, func() {
 		st, ok := a.pendingAggs[corr]
 		if !ok {
 			return
 		}
 		delete(a.pendingAggs, corr)
-		a.ackTreeCast(st)
+		if st.agg.Outstanding() > 0 {
+			st.failed = true
+		}
+		st.cancel = nil
+		a.finishStage(st)
 	})
 }

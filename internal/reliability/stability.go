@@ -312,6 +312,56 @@ func (t *Tracker) Advance() { t.advanceStability() }
 // Stable returns the stability watermark for a sender.
 func (t *Tracker) Stable(p types.ProcessID) uint64 { return t.sender(p).stable }
 
+// SetFloor advances a sender's stability watermark to an externally computed
+// floor, pruning the buffered casts at or below it. It is the pruning path
+// for trackers that aggregate stability out of band — the treecast hop
+// tracker learns its floor from the broadcast initiator's cumulative
+// watermark rather than from per-member Reports — so it never consults
+// t.members. The floor is clamped to the sender's own contiguous watermark:
+// pruning past casts this member has not yet received would make Note
+// misclassify them as duplicates when they finally arrive.
+func (t *Tracker) SetFloor(sender types.ProcessID, floor uint64) {
+	s := t.sender(sender)
+	if floor > s.ctg {
+		floor = s.ctg
+	}
+	if floor <= s.stable {
+		return
+	}
+	for seq := s.stable + 1; seq <= floor; seq++ {
+		if s.buf[seq] != nil {
+			delete(s.buf, seq)
+			t.stats.StablePruned++
+		}
+	}
+	s.stable = floor
+}
+
+// Expect records that sender has issued casts up to seq without requiring a
+// copy of any of them, turning knowledge learned out of band (a forwarded
+// record's sequence number, a watermark in an acknowledgement) into a
+// NAKable gap exactly as a peer's Report would.
+func (t *Tracker) Expect(sender types.ProcessID, seq uint64) {
+	s := t.sender(sender)
+	if seq > s.maxSeen {
+		s.maxSeen = seq
+	}
+}
+
+// Bootstrap initialises a never-seen sender's watermarks at a baseline, so a
+// member that joins mid-stream does not NAK for (or wait on) history that
+// predates it. It applies only while the sender's state is completely fresh
+// — after any Note, Report or Expect it is a no-op — and reports whether the
+// baseline was applied.
+func (t *Tracker) Bootstrap(sender types.ProcessID, seq uint64) bool {
+	s := t.sender(sender)
+	if s.ctg != 0 || s.stable != 0 || s.maxSeen != 0 || len(s.buf) != 0 {
+		return false
+	}
+	s.ctg, s.stable, s.maxSeen = seq, seq, seq
+	return true
+}
+
 // Missing returns the gaps in every sender's receive sequence — runs of
 // sequence numbers between the contiguous watermark and the highest seen
 // that are not buffered. These are the casts a NAK asks for.

@@ -150,6 +150,80 @@ func TestTrackerUnstableIsTheForwardSet(t *testing.T) {
 	}
 }
 
+func TestTrackerSetFloorPrunesButClampsToOwnWatermark(t *testing.T) {
+	// The hop tracker (treecast) has no member list: its floor arrives out of
+	// band from the broadcast initiator. SetFloor must prune up to the floor
+	// but never past what this member has contiguously received — otherwise a
+	// straggling cast would be misfiled as a duplicate on arrival.
+	tr := NewTracker(pid(1), nil, nil)
+	for seq := uint64(1); seq <= 3; seq++ {
+		tr.Note(castFrom(pid(2), seq))
+	}
+	tr.Note(castFrom(pid(2), 5)) // gap at 4: ctg stays 3
+	tr.SetFloor(pid(2), 5)
+	if got := tr.Stable(pid(2)); got != 3 {
+		t.Fatalf("stable = %d, want 3 (clamped to ctg)", got)
+	}
+	if tr.Buffered() != 1 {
+		t.Fatalf("buffered = %d, want 1 (only seq 5 kept)", tr.Buffered())
+	}
+	// The straggler is still fresh, then prunable once contiguous.
+	if !tr.Note(castFrom(pid(2), 4)) {
+		t.Fatal("cast above the clamped floor misfiled as duplicate")
+	}
+	tr.SetFloor(pid(2), 5)
+	if got := tr.Stable(pid(2)); got != 5 || tr.Buffered() != 0 {
+		t.Fatalf("stable = %d buffered = %d, want 5 and 0", got, tr.Buffered())
+	}
+	// Floors are monotone: a stale lower floor never regresses the watermark.
+	tr.SetFloor(pid(2), 2)
+	if got := tr.Stable(pid(2)); got != 5 {
+		t.Errorf("stale floor regressed stability to %d", got)
+	}
+}
+
+func TestTrackerExpectCreatesNakableGap(t *testing.T) {
+	tr := NewTracker(pid(1), nil, nil)
+	tr.Note(castFrom(pid(2), 1))
+	tr.Expect(pid(2), 3)
+	missing := tr.Missing()
+	if len(missing) != 1 || missing[0] != (SeqRange{Sender: pid(2), Lo: 2, Hi: 3}) {
+		t.Fatalf("Missing = %v, want [{p2 2 3}]", missing)
+	}
+	tr.Expect(pid(2), 2) // lower expectation never regresses max-seen
+	if missing = tr.Missing(); len(missing) != 1 || missing[0].Hi != 3 {
+		t.Fatalf("Missing after stale Expect = %v, want Hi 3", missing)
+	}
+}
+
+func TestTrackerBootstrapOnlyAppliesToFreshSenders(t *testing.T) {
+	tr := NewTracker(pid(1), nil, nil)
+	if !tr.Bootstrap(pid(2), 4) {
+		t.Fatal("bootstrap of a fresh sender refused")
+	}
+	if got := tr.Ctg(pid(2)); got != 4 {
+		t.Fatalf("ctg = %d, want the baseline 4", got)
+	}
+	// History at or below the baseline is a duplicate, the next seq is fresh,
+	// and no gap is reported for the skipped prefix.
+	if tr.Note(castFrom(pid(2), 3)) {
+		t.Error("pre-baseline cast accepted as fresh")
+	}
+	if !tr.Note(castFrom(pid(2), 5)) {
+		t.Error("first post-baseline cast misfiled as duplicate")
+	}
+	if missing := tr.Missing(); len(missing) != 0 {
+		t.Errorf("Missing = %v, want none", missing)
+	}
+	// Once any state exists, Bootstrap is a no-op.
+	if tr.Bootstrap(pid(2), 9) {
+		t.Error("bootstrap applied over existing state")
+	}
+	if got := tr.Ctg(pid(2)); got != 5 {
+		t.Errorf("ctg = %d after refused bootstrap, want 5", got)
+	}
+}
+
 func TestTrackerNakTargetRotatesAndSkipsExcluded(t *testing.T) {
 	tr := newTestTracker()
 	excl := map[types.ProcessID]bool{pid(2): true}

@@ -37,35 +37,38 @@ type LeafDescriptor struct {
 }
 
 // Plan builds the forwarding tree over the given leaves with the given
-// fanout bound. Leaves are chunked into groups of at most fanout; the first
-// leaf of each chunk becomes the chunk's representative and forwards to the
-// other leaves of its chunk; chunk representatives are then chunked again,
-// recursively, until a single root stage remains. Every leaf appears in
-// exactly one stage, and no stage forwards to more than fanout-1 other
-// stages (plus its own leaf-internal delivery).
+// fanout bound: a complete max(2, fanout-1)-ary tree in leaf-list order
+// (stage i forwards to stages i·a+1 … i·a+a, heap layout). Every leaf
+// appears in exactly one stage, and no stage forwards to more than
+// max(2, fanout-1) child stages — so with its own leaf-internal delivery a
+// representative contacts at most fanout destinations (the paper's bound),
+// at the usual logarithmic depth.
+//
+// The earlier repeated-chunking construction violated the bound: chunk heads
+// that survived into the next round accumulated the children of every round
+// they headed, so a 9-leaf fanout-3 plan had the root forwarding to 4 stages.
 func Plan(leaves []LeafDescriptor, fanout int) (*Stage, error) {
 	if len(leaves) == 0 {
 		return nil, fmt.Errorf("treecast: no leaves to broadcast to: %w", types.ErrNoSuchGroup)
 	}
-	if fanout < 2 {
-		fanout = 2
+	arity := fanout - 1
+	if arity < 2 {
+		arity = 2
 	}
 	stages := make([]*Stage, len(leaves))
 	for i, l := range leaves {
 		stages[i] = &Stage{Leaf: l.ID, Contacts: types.CopyProcesses(l.Contacts)}
 	}
-	for len(stages) > 1 {
-		var next []*Stage
-		for i := 0; i < len(stages); i += fanout {
-			end := i + fanout
-			if end > len(stages) {
-				end = len(stages)
-			}
-			head := stages[i]
-			head.Children = append(head.Children, stages[i+1:end]...)
-			next = append(next, head)
+	for i := range stages {
+		lo := i*arity + 1
+		if lo >= len(stages) {
+			break
 		}
-		stages = next
+		hi := lo + arity
+		if hi > len(stages) {
+			hi = len(stages)
+		}
+		stages[i].Children = stages[lo:hi]
 	}
 	return stages[0], nil
 }
@@ -289,3 +292,8 @@ func (a *Aggregator) Covered() int { return a.coveredTotal }
 
 // Outstanding returns the number of child acknowledgements still missing.
 func (a *Aggregator) Outstanding() int { return len(a.children) }
+
+// ChildOutstanding reports whether the child stage responsible for the given
+// leaf has neither acknowledged nor been failed — the set the forwarder's
+// retry timer re-sends to.
+func (a *Aggregator) ChildOutstanding(leaf types.GroupID) bool { return a.children[leaf.Key()] }

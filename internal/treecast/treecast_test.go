@@ -66,12 +66,15 @@ func TestPlanRespectsFanoutBound(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Each chunking round adds at most fanout-1 children to a stage,
-			// and a stage can act as representative in several rounds, so
-			// the bound per stage is (fanout-1) * rounds; what the paper
-			// needs is that it does not grow with n for fixed fanout beyond
-			// the logarithmic number of levels.
-			if got, limit := MaxForwardFanout(root), (fanout-1)*(Depth(root)+1); got > limit {
+			// A representative contacts its child stages plus its own leaf, so
+			// the per-stage forward bound is max(2, fanout-1) regardless of n
+			// — the strict form of the paper's "no process contacts more than
+			// roughly fanout destinations".
+			limit := fanout - 1
+			if limit < 2 {
+				limit = 2
+			}
+			if got := MaxForwardFanout(root); got > limit {
 				t.Errorf("n=%d fanout=%d: max forward fanout %d exceeds %d", n, fanout, got, limit)
 			}
 		}
@@ -83,8 +86,8 @@ func TestPlanDepthLogarithmic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := Depth(root); d < 2 || d > 3 {
-		t.Errorf("Depth(64 leaves, fanout 4) = %d, want about log4(64)=3", d)
+	if d := Depth(root); d < 3 || d > 4 {
+		t.Errorf("Depth(64 leaves, fanout 4) = %d, want about log3(64)=4", d)
 	}
 	root2, _ := Plan(descriptors(64), 64)
 	if d := Depth(root2); d != 1 {
@@ -186,10 +189,13 @@ func TestAggregatorLocalIdempotent(t *testing.T) {
 }
 
 func TestPlanRandomisedProperty(t *testing.T) {
+	// Fuzzed over leaf counts and fanouts: every leaf lands in exactly one
+	// stage, the strict forward-fanout bound holds, and depth stays within
+	// the capacity bound of a complete max(2, fanout-1)-ary tree.
 	rng := rand.New(rand.NewSource(5))
-	for trial := 0; trial < 50; trial++ {
-		n := 1 + rng.Intn(150)
-		fanout := 2 + rng.Intn(10)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(300)
+		fanout := 1 + rng.Intn(12)
 		root, err := Plan(descriptors(n), fanout)
 		if err != nil {
 			t.Fatal(err)
@@ -197,9 +203,28 @@ func TestPlanRandomisedProperty(t *testing.T) {
 		if CountStages(root) != n {
 			t.Fatalf("n=%d fanout=%d: %d stages", n, fanout, CountStages(root))
 		}
-		// Depth must be at most ceil(log_fanout(n)).
+		leaves := Leaves(root)
+		seen := make(map[string]bool, len(leaves))
+		for _, id := range leaves {
+			if seen[id.Key()] {
+				t.Fatalf("n=%d fanout=%d: leaf %v appears in two stages", n, fanout, id)
+			}
+			seen[id.Key()] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("n=%d fanout=%d: %d distinct leaves covered", n, fanout, len(seen))
+		}
+		arity := fanout - 1
+		if arity < 2 {
+			arity = 2
+		}
+		if got := MaxForwardFanout(root); got > arity {
+			t.Fatalf("n=%d fanout=%d: max forward fanout %d > %d", n, fanout, got, arity)
+		}
+		// Depth must not exceed that of a complete arity-ary tree holding n
+		// stages (capacity 1, 1+a, 1+a+a², …).
 		maxDepth := 0
-		for c := 1; c < n; c *= fanout {
+		for capacity := 1; capacity < n; capacity = capacity*arity + 1 {
 			maxDepth++
 		}
 		if Depth(root) > maxDepth {

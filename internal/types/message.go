@@ -66,6 +66,12 @@ const (
 	KindNakOrder  // ABCAST member asks for order announcements it is missing
 	KindStability // periodic stability report (per-sender receive watermarks)
 	KindViewNak   // wedged member asks for a view install it never received
+
+	// Hierarchy recovery (treecast stability, NAK/retransmit across leaves).
+	KindTreeCastNak    // leaf member asks a holder for missing tree broadcasts
+	KindTreeCastRepair // retransmitted tree-broadcast record answering a NAK
+	KindHLeaderInvite  // leader coordinator recruits a member into the leader group
+	KindHLeaderUpdate  // leader coordinator pushes fresh leader contacts to the leaves
 )
 
 // String returns the symbolic name of the kind for logs and tests.
@@ -88,7 +94,9 @@ func (k Kind) String() string {
 		KindTxnPrepare: "txn-prepare", KindTxnVote: "txn-vote", KindTxnDecision: "txn-decision",
 		KindTaskAssign: "task-assign", KindTaskResult: "task-result",
 		KindNak: "nak", KindNakOrder: "nak-order", KindStability: "stability",
-		KindViewNak: "view-nak",
+		KindViewNak:     "view-nak",
+		KindTreeCastNak: "treecast-nak", KindTreeCastRepair: "treecast-repair",
+		KindHLeaderInvite: "hleader-invite", KindHLeaderUpdate: "hleader-update",
 	}
 	if s, ok := names[k]; ok {
 		return s

@@ -153,6 +153,23 @@ func BenchmarkE12MemberScaling(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows")
 }
 
+// BenchmarkE13StateTransfer regenerates E13: KV write throughput with the
+// write-ahead delivery log on vs off, and rejoin-to-converged latency for a
+// fresh joiner pulling a streamed view-consistent checkpoint as the group
+// grows. The recorded table (BENCH_state.json) is this PR's durability cost
+// and recovery-latency trajectory.
+func BenchmarkE13StateTransfer(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t1, t2, err := experiments.E13StateTransfer(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = t1.Rows() + t2.Rows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkCastHotPath is the allocation-regression benchmark for the
 // broadcast hot path: one member of a warm 8-member group floods async FIFO
 // casts end to end (sender fan-out, outbox coalescing, batch intake,

@@ -36,8 +36,10 @@ type Proc struct {
 // detector's suspicions feed the group stack, and the stack's views feed the
 // detector's monitored set — identical wiring over any transport. The
 // batching knobs configure the node's outbox coalescing (the zero value
-// selects the defaults; node.Batching{Disable: true} turns it off).
-func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, batching node.Batching) (*Proc, error) {
+// selects the defaults; node.Batching{Disable: true} turns it off). A
+// non-empty walDir makes this process's stateful groups durable: applied
+// deliveries are logged there and recovered at group Create.
+func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, batching node.Batching, walDir string) (*Proc, error) {
 	n, err := node.NewWithBatching(pid, network, batching)
 	if err != nil {
 		return nil, fmt.Errorf("boot %v: %w", pid, err)
@@ -49,6 +51,9 @@ func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, b
 	p.Stack = group.NewStack(n, p.Detector)
 	p.Host = core.NewHost(p.Stack)
 	n.Start()
+	if walDir != "" {
+		p.Stack.SetWALDir(walDir) // runs via the actor loop, so after Start
+	}
 	return p, nil
 }
 

@@ -23,7 +23,7 @@ func pid(site uint32) types.ProcessID {
 // present, the node started, and the pid threaded through.
 func TestSpawnWiresEveryLayer(t *testing.T) {
 	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
-	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,12 +46,12 @@ func TestSpawnWiresEveryLayer(t *testing.T) {
 // boot, not half-wire a process.
 func TestSpawnDuplicatePIDRejected(t *testing.T) {
 	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
-	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
-	if _, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}); err == nil {
+	if _, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}, ""); err == nil {
 		t.Fatal("duplicate pid accepted")
 	}
 }
@@ -59,7 +59,7 @@ func TestSpawnDuplicatePIDRejected(t *testing.T) {
 // TestStopIsIdempotent: crash-then-shutdown paths stop a process twice.
 func TestStopIsIdempotent(t *testing.T) {
 	net := transport.NewMemory(netsim.New(netsim.DefaultConfig()))
-	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{})
+	p, err := boot.Spawn(pid(1), net, fdetect.Config{}, node.Batching{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestThreeNodeClusterOverBoot(t *testing.T) {
 	net := transport.NewMemory(fabric)
 	procs := make([]*boot.Proc, 3)
 	for i := range procs {
-		p, err := boot.Spawn(pid(uint32(i+1)), net, fdetect.Config{}, node.Batching{})
+		p, err := boot.Spawn(pid(uint32(i+1)), net, fdetect.Config{}, node.Batching{}, "")
 		if err != nil {
 			t.Fatal(err)
 		}

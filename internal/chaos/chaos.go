@@ -136,6 +136,24 @@ type Profile struct {
 	// RequestsPerStep is how many leaf-routed client requests are issued per
 	// step in service scenarios.
 	RequestsPerStep int
+
+	// Stateful switches the scenario to durable-state mode: every node is a
+	// replica of one WAL-backed key-value map, the workload issues puts, and
+	// the timeline may include one full-cluster restart that every slot must
+	// survive by recovering its write-ahead log. On top of the flat-group
+	// invariants the stateful checkers grade replica digest convergence at
+	// quiesce, post-fault write availability, and WAL recovery (every put the
+	// founder acknowledged before the full restart must still be readable
+	// after it).
+	Stateful bool
+	// KVOpsPerStep is how many KV puts each live replica issues per step in
+	// stateful scenarios.
+	KVOpsPerStep int
+	// FullRestartProb is the per-step probability (stateful scenarios only)
+	// of power-failing the whole cluster at once and restarting every slot
+	// from its write-ahead log. At most one full restart per scenario, never
+	// during a partition, and never so late that recovery cannot be observed.
+	FullRestartProb float64
 }
 
 // DefaultProfile is the standard chaos mix: a mid-size cluster, every fault
@@ -241,9 +259,51 @@ func ServiceProfile() Profile {
 	}
 }
 
+// StatefulProfile is the durable-state profile: every node replicates one
+// WAL-backed key-value map, the workload issues puts, and the timeline mixes
+// ordinary member churn (rejoin via streamed checkpoint) with at most one
+// full-cluster power failure (recover from the write-ahead logs). The
+// checkers grade digest convergence, write availability after all faults
+// heal, and durability of acknowledged writes across the full restart.
+func StatefulProfile() Profile {
+	return Profile{
+		Name:         "stateful",
+		Nodes:        5,
+		Steps:        14,
+		StepInterval: 10 * time.Millisecond,
+
+		Stateful:        true,
+		KVOpsPerStep:    2,
+		FullRestartProb: 0.15,
+
+		MaxCrashes:  2,
+		CrashProb:   0.10,
+		RestartProb: 0.35,
+
+		PartitionProb:  0.05,
+		PartitionSteps: 2,
+
+		LossProb:       0.08,
+		MaxLossRate:    0.05,
+		DelayProb:      0.08,
+		MaxDelay:       2 * time.Millisecond,
+		DupProb:        0.10,
+		MaxDupRate:     0.20,
+		ReorderProb:    0.08,
+		MaxReorderRate: 0.15,
+		ReorderDelay:   2 * time.Millisecond,
+		BurstSteps:     3,
+
+		LossyFraction: 0.5,
+		SettleTimeout: 20 * time.Second,
+	}
+}
+
 // ProfileNames lists the built-in profile names, in the order they are
 // documented.
-func ProfileNames() []string { return []string{"smoke", "default", "soak", "service"} }
+func ProfileNames() []string {
+	return []string{"smoke", "default", "soak", "service", "stateful"}
+}
 
 // LookupProfile resolves a named built-in profile, reporting whether the
 // name is known.
@@ -257,6 +317,8 @@ func LookupProfile(name string) (Profile, bool) {
 		return SoakProfile(), true
 	case "service":
 		return ServiceProfile(), true
+	case "stateful":
+		return StatefulProfile(), true
 	default:
 		return Profile{}, false
 	}

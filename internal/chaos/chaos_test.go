@@ -198,6 +198,50 @@ func TestServiceChaosSeeds(t *testing.T) {
 	}
 }
 
+// statefulSeedCount reads CHAOS_STATEFUL_SEEDS (how many durable-state seeds
+// TestStatefulChaosSeeds fuzzes); the CI chaos-smoke job and the nightly soak
+// raise it, the default keeps plain `go test ./...` quick.
+func statefulSeedCount() int {
+	if v := os.Getenv("CHAOS_STATEFUL_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// TestStatefulChaosSeeds fuzzes the durable-state stack: seeded scenarios
+// drive one WAL-backed replicated KV map through member crashes (rejoin via
+// streamed view-consistent checkpoint), frame loss, partitions and at most
+// one full-cluster power failure (recover from the write-ahead logs), then
+// grade WAL durability of acknowledged writes, replica digest convergence at
+// quiesce, post-heal write availability and the flat virtual-synchrony
+// invariants of the underlying group. Failing seeds replay with
+// -profile=stateful, same contract as the flat seeds.
+func TestStatefulChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	profile := chaos.StatefulProfile()
+	n := statefulSeedCount()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := chaos.Run(chaos.Generate(seed, profile))
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			if res.Failed() {
+				reportFailure(t, res)
+			}
+			if res.Deliveries == 0 {
+				t.Errorf("scenario delivered nothing: %s", res)
+			}
+		})
+	}
+}
+
 // TestChaosReplay runs exactly one scenario, selected by -seed/-profile, and
 // prints its hash; with the default seed it doubles as a single smoke run.
 func TestChaosReplay(t *testing.T) {

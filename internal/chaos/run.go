@@ -82,8 +82,10 @@ func (s *slot) liveGroups() []*isis.Group {
 // sequential site assignment.
 func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 	slotPID := make([]types.ProcessID, s.Profile.Nodes)
+	alive := make([]bool, s.Profile.Nodes)
 	for i := range slotPID {
 		slotPID[i] = isis.Site(uint32(i + 1))
+		alive[i] = true
 	}
 	base := s.Profile.Nodes
 	if s.Profile.Service {
@@ -94,10 +96,24 @@ func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 		switch e.Kind {
 		case EvCrash:
 			plan = append(plan, netsim.FaultEvent{Step: e.Step, Kind: netsim.FaultCrash, Proc: slotPID[e.Node]})
+			alive[e.Node] = false
 		case EvRestart:
 			restartN++
 			slotPID[e.Node] = isis.Site(uint32(base + restartN))
+			alive[e.Node] = true
 			restarts = append(restarts, e)
+		case EvFullRestart:
+			// Every live slot power-fails at once, then every slot (already-
+			// crashed ones included) restarts with a fresh site. The runner
+			// respawns in slot order, mirroring the site assignments here.
+			for i := range slotPID {
+				if alive[i] {
+					plan = append(plan, netsim.FaultEvent{Step: e.Step, Kind: netsim.FaultCrash, Proc: slotPID[i]})
+				}
+				restartN++
+				slotPID[i] = isis.Site(uint32(base + restartN))
+				alive[i] = true
+			}
 		case EvPartition:
 			plan = append(plan, netsim.FaultEvent{Step: e.Step, Kind: netsim.FaultPartition, Proc: slotPID[e.Node], Partition: e.Side})
 		case EvHeal:
@@ -124,6 +140,9 @@ func compile(s Scenario) (plan []netsim.FaultEvent, restarts []Event) {
 func Run(s Scenario) (*Result, error) {
 	if s.Profile.Service {
 		return runService(s)
+	}
+	if s.Profile.Stateful {
+		return runStateful(s)
 	}
 	p := s.Profile
 	start := time.Now()

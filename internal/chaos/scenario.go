@@ -36,6 +36,10 @@ const (
 	EvDup
 	// EvReorder sets the data-path reordering rate and delay cap.
 	EvReorder
+	// EvFullRestart power-fails every slot at once and restarts all of them
+	// (stateful scenarios only); the replacements must recover the replicated
+	// state from their write-ahead logs.
+	EvFullRestart
 )
 
 // String returns the symbolic event name.
@@ -57,6 +61,8 @@ func (k EventKind) String() string {
 		return "dup"
 	case EvReorder:
 		return "reorder"
+	case EvFullRestart:
+		return "fullrestart"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -94,6 +100,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("step %2d: duplication rate %.3f", e.Step, e.Rate)
 	case EvReorder:
 		return fmt.Sprintf("step %2d: reorder rate %.3f delay=%v", e.Step, e.Rate, e.Base)
+	case EvFullRestart:
+		return fmt.Sprintf("step %2d: full-cluster restart (recover from WAL)", e.Step)
 	default:
 		return fmt.Sprintf("step %2d: %s", e.Step, e.Kind)
 	}
@@ -143,6 +151,7 @@ func Generate(seed int64, p Profile) Scenario {
 		return out
 	}
 	var crashedPool []int // slots awaiting restart, in crash order
+	fullRestarted := false
 
 	const (
 		inactive = -1
@@ -174,6 +183,20 @@ func Generate(seed int64, p Profile) Scenario {
 			reorderEnd = inactive
 		}
 
+		// Full restart (stateful only): power-fail everyone at once, restart
+		// every slot from its write-ahead log. At most one per scenario, only
+		// on a partition-free step, not so early that nothing has been
+		// written and not so late that recovery cannot be exercised. The
+		// whole cluster comes back, so the crash pool empties.
+		if p.Stateful && !fullRestarted && partitionEnd == inactive &&
+			step >= 3 && step <= p.Steps-3 && rng.Float64() < p.FullRestartProb {
+			emit(Event{Step: step, Kind: EvFullRestart})
+			fullRestarted = true
+			for i := range alive {
+				alive[i] = true
+			}
+			crashedPool = nil
+		}
 		// Crash: keep a majority of slots alive so the cluster can always
 		// make progress and the scenario stays about surviving faults, not
 		// about total destruction.
@@ -254,7 +277,7 @@ func Generate(seed int64, p Profile) Scenario {
 // full event timeline, so equal encodings mean byte-identical runs at the
 // scenario level.
 func (s Scenario) Encode() []byte {
-	b := []byte("isis-chaos-scenario-v2\n")
+	b := []byte("isis-chaos-scenario-v3\n")
 	u64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
 	i64 := func(v int64) { u64(uint64(v)) }
 	str := func(v string) {
@@ -298,6 +321,13 @@ func (s Scenario) Encode() []byte {
 	i64(int64(p.ServiceResiliency))
 	i64(int64(p.BroadcastsPerStep))
 	i64(int64(p.RequestsPerStep))
+	if p.Stateful {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	i64(int64(p.KVOpsPerStep))
+	u64(math.Float64bits(p.FullRestartProb))
 	if s.Lossy {
 		b = append(b, 1)
 	} else {

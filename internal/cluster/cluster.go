@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/boot"
@@ -34,6 +35,10 @@ type Options struct {
 	// selects the defaults; node.Batching{Disable: true} restores
 	// one-frame-per-message sending (the E9 baseline).
 	Batching node.Batching
+	// WALDir, when non-empty, gives every process a write-ahead-log
+	// directory (<WALDir>/site-<n>, keyed by site so a restarted site
+	// recovers its predecessor's log).
+	WALDir string
 }
 
 // Proc is one simulated workstation process.
@@ -86,7 +91,11 @@ func MustNew(n int, opts Options) *Cluster {
 func (c *Cluster) AddProcess() (*Proc, error) {
 	c.nextSite++
 	pid := types.ProcessID{Site: types.SiteID(c.nextSite), Incarnation: 1}
-	bp, err := boot.Spawn(pid, c.Net, c.opts.Detector, c.opts.Batching)
+	walDir := ""
+	if c.opts.WALDir != "" {
+		walDir = filepath.Join(c.opts.WALDir, fmt.Sprintf("site-%d", c.nextSite))
+	}
+	bp, err := boot.Spawn(pid, c.Net, c.opts.Detector, c.opts.Batching, walDir)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: add process %v: %w", pid, err)
 	}

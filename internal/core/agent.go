@@ -355,16 +355,12 @@ func (a *Agent) leafGroupConfig(leafID types.GroupID) group.Config {
 		OnDeliver: func(d group.Delivery) {
 			a.onLeafDelivery(d)
 		},
-		// The transfer hands a joiner the treecast tracker's buffered records
-		// and watermarks: a member relocating between leaves (dissolved by a
-		// merge, moved by the leader) would otherwise permanently miss every
-		// broadcast the destination leaf delivered while it was in flight.
-		StateProvider: func() []byte {
-			return a.encodeRecoveryState()
-		},
-		StateReceiver: func(b []byte) {
-			a.applyRecoveryState(b)
-		},
+		// The checkpoint hands a joiner the treecast tracker's buffered
+		// records and watermarks (a member relocating between leaves would
+		// otherwise permanently miss every broadcast the destination leaf
+		// delivered while it was in flight) plus, when the service carries
+		// application state, the application's snapshot.
+		State: leafState{a},
 	}
 }
 
@@ -377,19 +373,92 @@ func (a *Agent) leaderGroupConfig() group.Config {
 		OnDeliver: func(d group.Delivery) {
 			a.onLeaderDelivery(d)
 		},
-		StateProvider: func() []byte {
-			if a.tree == nil {
-				return NewTree(a.name, a.cfg.Fanout).Encode()
-			}
-			return a.tree.Encode()
-		},
-		StateReceiver: func(b []byte) {
-			if t, err := DecodeTree(b); err == nil {
-				a.tree = t
-			}
-		},
+		State: leaderState{a},
 	}
 }
+
+// leafState is a leaf group's checkpoint: the hierarchy's recovery state
+// (length-prefixed) followed by the optional application snapshot. It runs on
+// the actor goroutine, like every group callback.
+type leafState struct{ a *Agent }
+
+func (s leafState) Snapshot() ([]byte, error) {
+	rec := s.a.encodeRecoveryState()
+	b := types.EncodeUint64(nil, uint64(len(rec)))
+	b = append(b, rec...)
+	if s.a.cfg.State != nil {
+		app, err := s.a.cfg.State.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, 1)
+		b = append(b, app...)
+		return b, nil
+	}
+	return append(b, 0), nil
+}
+
+func (s leafState) Restore(b []byte) error {
+	n, rest, ok := types.DecodeUint64(b)
+	if !ok || uint64(len(rest)) < n {
+		return fmt.Errorf("core: leaf checkpoint truncated: %w", types.ErrRejected)
+	}
+	s.a.applyRecoveryState(rest[:n])
+	rest = rest[n:]
+	if len(rest) >= 1 && rest[0] == 1 && s.a.cfg.State != nil {
+		return s.a.cfg.State.Restore(rest[1:])
+	}
+	return nil
+}
+
+// Apply replays a write-ahead-logged leaf delivery during recovery. Only
+// application-level casts reach the application handler; hierarchy-internal
+// traffic (requests, result replicas, leader updates) is coordination, not
+// state, and its effects are re-derived live.
+func (s leafState) Apply(d group.Delivery) {
+	applier, ok := s.a.cfg.State.(group.StateApplier)
+	if !ok {
+		return
+	}
+	tag, _, payload, ok := decodeLeafCast(d.Payload)
+	if !ok {
+		return
+	}
+	switch tag {
+	case tagAppCast:
+		d.Payload = payload
+		applier.Apply(d)
+	case tagBroadcast:
+		if r, ok := decodeRecord(payload); ok {
+			d.Payload = r.Payload
+			applier.Apply(d)
+		}
+	}
+}
+
+// leaderState is the leader group's checkpoint: the subgroup tree.
+type leaderState struct{ a *Agent }
+
+func (s leaderState) Snapshot() ([]byte, error) {
+	if s.a.tree == nil {
+		return NewTree(s.a.name, s.a.cfg.Fanout).Encode(), nil
+	}
+	return s.a.tree.Encode(), nil
+}
+
+func (s leaderState) Restore(b []byte) error {
+	t, err := DecodeTree(b)
+	if err != nil {
+		return err
+	}
+	s.a.tree = t
+	return nil
+}
+
+// Apply is a deliberate no-op: leader-group deliveries are placement and
+// reconfiguration decisions whose outcome is already folded into the tree
+// snapshot; replaying them at boot would re-issue directives.
+func (s leaderState) Apply(group.Delivery) {}
 
 // onLeafView runs on the actor goroutine whenever the leaf installs a new
 // view. The leaf coordinator reports the membership to the leader group —

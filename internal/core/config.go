@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/group"
 	"repro/internal/types"
 )
 
@@ -45,6 +46,15 @@ type Config struct {
 	// OnLeafDeliver is invoked for application-level leaf multicasts
 	// (Agent.LeafCast). Runs on the actor goroutine.
 	OnLeafDeliver func(from types.ProcessID, payload []byte)
+
+	// State is the application's durable-state hook for this service member.
+	// Its snapshot rides inside each leaf checkpoint next to the hierarchy's
+	// own recovery state, so a member joining or relocating between leaves
+	// restores application state along with the treecast watermarks. Handlers
+	// that also implement group.StateApplier get write-ahead-log-recovered
+	// application leaf casts through Apply (hierarchy-internal traffic is
+	// never replayed to the application).
+	State group.StateHandler
 
 	// OpTimeout bounds internal blocking operations (relocations, tree
 	// broadcast acknowledgement waits). Default 5s.

@@ -47,12 +47,36 @@ type Config struct {
 	// node's actor goroutine and must not block.
 	OnView func(member.View)
 
-	// StateProvider, when set on existing members, supplies the application
-	// state snapshot transferred to joining members.
+	// State is the application's durable-state hook: its Snapshot is
+	// captured view-consistently at installs and streamed to joining
+	// members, its Restore receives the checkpoint on join (or from the
+	// write-ahead log at Create). Handlers that also implement StateApplier
+	// get WAL-recovered deliveries through Apply instead of OnDeliver.
+	State StateHandler
+
+	// StateProvider and StateReceiver are the deprecated one-shot transfer
+	// hooks, kept as an adapter: when State is nil and either func is set,
+	// they are wrapped into a StateHandler and served by the same chunked,
+	// reliable transfer path.
+	//
+	// Deprecated: set State instead.
 	StateProvider func() []byte
-	// StateReceiver, when set on a joining member, receives the state
-	// snapshot captured by the coordinator at join time.
+	// Deprecated: set State instead.
 	StateReceiver func([]byte)
+
+	// StateChunkBytes is the checkpoint transfer's chunk size. Zero selects
+	// 32KiB.
+	StateChunkBytes int
+
+	// StateGrace bounds how long a joining member with a State handler holds
+	// application deliveries waiting for a checkpoint before proceeding
+	// stateless (every potential holder may be gone). Zero selects 2s.
+	StateGrace time.Duration
+
+	// WALCompactBytes is the write-ahead log's compaction threshold: at a
+	// checkpoint capture, logs that grew past it since their last snapshot
+	// record are rewritten to the fresh checkpoint. Zero selects 1MiB.
+	WALCompactBytes int64
 
 	// InstallGrace bounds how long a member waits for the flush delivery cut
 	// to be satisfied before installing a new view anyway. It protects
@@ -80,6 +104,18 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Resiliency <= 0 {
 		c.Resiliency = 1
+	}
+	if c.State == nil && (c.StateProvider != nil || c.StateReceiver != nil) {
+		c.State = funcHandler{provide: c.StateProvider, receive: c.StateReceiver}
+	}
+	if c.StateChunkBytes <= 0 {
+		c.StateChunkBytes = 32 << 10
+	}
+	if c.StateGrace <= 0 {
+		c.StateGrace = 2 * time.Second
+	}
+	if c.WALCompactBytes <= 0 {
+		c.WALCompactBytes = 1 << 20
 	}
 	if c.InstallGrace <= 0 {
 		c.InstallGrace = 500 * time.Millisecond

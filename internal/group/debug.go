@@ -1,0 +1,8 @@
+package group
+
+import "os"
+
+// debugViews gates the view-change trace (proposals and installs) printed to
+// stdout. Set ISIS_DEBUG_VIEWS=1 when replaying a chaos seed to follow the
+// membership protocol.
+var debugViews = os.Getenv("ISIS_DEBUG_VIEWS") != ""

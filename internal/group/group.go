@@ -10,6 +10,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/reliability"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Group is one process's membership in one flat group. All unexported
@@ -76,8 +77,24 @@ type Group struct {
 	stabRR             int // rotation cursor for the bounded-fanout stability tick
 	ordGapTicks        int
 	viewNakRR          int
+	wedgeTicks         int // consecutive recovery ticks spent wedged awaiting an install
 	lastInstallView    types.ViewID
 	lastInstallPayload []byte
+
+	// Durable state (state.go, wal.go): the application handler, the
+	// checkpoint this member serves to joiners, a joining member's transfer
+	// in progress with the deliveries held until its restore, and the
+	// write-ahead delivery log.
+	state         StateHandler
+	stateReady    bool // state authoritative: capture checkpoints, log deliveries
+	awaitingState bool // joiner holding OnDeliver until restore or grace
+	held          []Delivery
+	xfer          *stateXfer
+	ckpt          *checkpoint
+	earlyState    []*types.Message // offers/chunks that raced ahead of our install
+	pendingOffers []types.ProcessID
+	stateStats    StateTransferStats
+	wal           *wal.Log
 
 	joinedC   chan struct{}
 	joinedSet bool
@@ -117,6 +134,7 @@ func newGroup(s *Stack, gid types.GroupID, cfg Config) *Group {
 		stack:     s,
 		id:        gid,
 		cfg:       cfg,
+		state:     cfg.State,
 		acks:      make(map[uint64]*ackWaiter),
 		suspected: make(map[types.ProcessID]bool),
 		joinedC:   make(chan struct{}),
@@ -147,6 +165,28 @@ func (g *Group) Coordinator() types.ProcessID { return g.CurrentView().Coordinat
 // Size returns the member count of the current view snapshot.
 func (g *Group) Size() int { return g.CurrentView().Size() }
 
+// DebugString renders this member's view-change state on one line — the
+// installed view, wedge/flush/pending status, the in-progress proposal and
+// the current suspicions. Chaos reports attach it to violations so a wedged
+// or diverged replica explains itself. Safe from any goroutine.
+func (g *Group) DebugString() string {
+	var s string
+	err := g.stack.node.Call(func() {
+		susp := make([]string, 0, len(g.suspected))
+		for _, p := range g.view.Members {
+			if g.suspected[p] {
+				susp = append(susp, p.String())
+			}
+		}
+		s = fmt.Sprintf("%v wedged=%t flush=%t pending=%t proposed=v%d from=%v joined=%t awaitState=%t parked=%d suspected=%v",
+			g.view, g.wedged, g.flush != nil, g.pending != nil, g.proposedView, g.proposeFrom, g.joined, g.awaitingState, len(g.parked), susp)
+	})
+	if err != nil {
+		return fmt.Sprintf("unavailable: %v", err)
+	}
+	return s
+}
+
 // Closed reports whether this process has left (or been removed from) the
 // group.
 func (g *Group) Closed() bool {
@@ -166,6 +206,11 @@ func (g *Group) Left() <-chan struct{} { return g.leftC }
 // resiliency waiters.
 func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 	self := g.stack.node.PID()
+	wasJoined := g.joined
+
+	if debugViews {
+		fmt.Printf("[views] %v installs %v (was %v)\n", self, v, g.view)
+	}
 
 	// With cumulative acknowledgements, the install settles every waiter
 	// still pending from the closing view, judged against the delivery cut:
@@ -237,6 +282,13 @@ func (g *Group) install(v member.View, cut map[types.ProcessID]uint64) {
 	g.snap = v.Clone()
 	g.snapMu.Unlock()
 
+	// Durable state: the install is the view-consistent cut. Ready members
+	// re-capture their checkpoint here — before any view-v delivery touches
+	// the application — a joining member arms its transfer, and the flush
+	// coordinator streams the fresh checkpoint to the members this install
+	// added.
+	g.stateOnInstall(v.ID, wasJoined)
+
 	if det := g.stack.det; det != nil {
 		// Monitor the other members of every group we belong to. Using the
 		// union across groups would be more precise; monitoring per install
@@ -285,6 +337,9 @@ func (g *Group) markLeft() {
 		g.recoveryCancel = nil
 	}
 	g.cancelFlushRetry()
+	g.closeWAL()
+	g.awaitingState = false
+	g.xfer, g.ckpt, g.held, g.earlyState, g.pendingOffers = nil, nil, nil, nil, nil
 	g.dropSubscribers()
 	g.snapMu.Lock()
 	g.closedSnap = true
@@ -357,6 +412,11 @@ func (g *Group) reportFailure(p types.ProcessID) {
 		return
 	}
 	g.suspected[p] = true
+	// A suspected process must not be admitted either: a join request whose
+	// sender died while queued would otherwise put a corpse in the next view
+	// (no flush ever waits on a non-member, so nothing detects it — every
+	// later flush then waits on the dead member forever).
+	g.pendJoin = types.RemoveProcess(g.pendJoin, p)
 	if !g.joined || !g.view.Contains(p) {
 		return
 	}
@@ -387,8 +447,33 @@ func (g *Group) maybeStartViewChange() {
 	g.startViewChange()
 }
 
+// takeOverViewChange restarts a view change whose proposing coordinator died
+// before any survivor processed the install. The acked proposal is abandoned
+// (it lives only in the survivors' wedges) and this member — the acting
+// coordinator, every member ranked above it being suspected — re-proposes
+// with the same successor view id: wedged members re-acknowledge a proposal
+// for their current view's successor regardless of who sends it. If the
+// original change *was* installed somewhere after all, the installed member
+// answers the takeover proposal with the install itself (see onViewPropose)
+// and the takeover flush is abandoned in its favour (see onViewInstall), so
+// the two coordinators cannot produce rival views with the same id.
+func (g *Group) takeOverViewChange() {
+	g.wedgeTicks = 0
+	g.wedged = false
+	g.startViewChange() // folds every suspected member into the removal set
+}
+
 func (g *Group) startViewChange() {
 	self := g.stack.node.PID()
+
+	if debugViews {
+		susp := make([]string, 0, len(g.suspected))
+		for p := range g.suspected {
+			susp = append(susp, p.String())
+		}
+		fmt.Printf("[views] %v proposes from %v: fail=%v join=%v leave=%v suspected=%v\n",
+			self, g.view, g.pendFail, g.pendJoin, g.pendLeave, susp)
+	}
 
 	removed := make(map[types.ProcessID]bool)
 	for _, p := range g.pendLeave {
@@ -397,9 +482,18 @@ func (g *Group) startViewChange() {
 	for _, p := range g.pendFail {
 		removed[p] = true
 	}
+	// Invariant: a proposal never carries a member its proposer suspects.
+	// Suspicion of a non-member leaves no pendFail entry (there is nothing to
+	// remove), so a process that was suspected before it was admitted would
+	// otherwise survive as a permanent zombie member.
+	for _, p := range g.view.Members {
+		if g.suspected[p] {
+			removed[p] = true
+		}
+	}
 	var added []types.ProcessID
 	for _, p := range g.pendJoin {
-		if !g.view.Contains(p) && !removed[p] {
+		if !g.view.Contains(p) && !removed[p] && !g.suspected[p] {
 			added = append(added, p)
 		}
 	}
@@ -611,17 +705,15 @@ func (g *Group) finishFlush() {
 	g.lastInstallView = proposed.ID
 	g.lastInstallPayload = payload
 
-	// State transfer to joiners.
-	if g.cfg.StateProvider != nil {
-		state := g.cfg.StateProvider()
+	// Queue checkpoint offers for the members this change adds. The stream
+	// itself starts once the local install captures the snapshot at the new
+	// view's cut (stateOnInstall) — the retired one-shot transfer sent here,
+	// before the coordinator had necessarily delivered up to the cut itself,
+	// and as a single unacknowledged frame.
+	if g.state != nil {
 		for _, p := range proposed.Members {
 			if !g.view.Contains(p) && p != g.stack.node.PID() {
-				_ = g.stack.node.Send(p, &types.Message{
-					Kind:    types.KindStateTransfer,
-					Group:   g.id,
-					View:    proposed.ID,
-					Payload: state,
-				})
+				g.pendingOffers = append(g.pendingOffers, p)
 			}
 		}
 	}
@@ -672,7 +764,17 @@ func (g *Group) onViewPropose(m *types.Message) {
 		// A propose for a view we already installed (a delayed or duplicated
 		// copy arriving after the install). Re-wedging here would freeze the
 		// group forever: the flush it belongs to has already completed and no
-		// further install will release us.
+		// further install will release us. If the proposer is a takeover
+		// coordinator that missed the original install, the install is its
+		// answer — sending it supersedes the takeover flush.
+		if g.lastInstallPayload != nil && g.lastInstallView >= m.View {
+			_ = g.stack.node.Send(m.From, &types.Message{
+				Kind:    types.KindViewInstall,
+				Group:   g.id,
+				View:    g.lastInstallView,
+				Payload: g.lastInstallPayload,
+			})
+		}
 		return
 	}
 	viewStr, _, ok := types.DecodeString(m.Payload)
@@ -756,6 +858,14 @@ func (g *Group) onViewInstall(m *types.Message) {
 	if g.joined && v.ID <= g.view.ID {
 		return // stale install
 	}
+	// An install for (or past) the view we are proposing as a takeover
+	// coordinator: the original change completed somewhere after all. Adopt
+	// the install and abandon our flush — two completed flushes for the same
+	// successor id would hand out rival views.
+	if g.flush != nil && v.ID >= g.flush.Proposed.ID {
+		g.flush = nil
+		g.cancelFlushRetry()
+	}
 	self := g.stack.node.PID()
 	if !v.Contains(self) {
 		// We have been removed (left, or wrongly suspected while partitioned).
@@ -790,10 +900,26 @@ func (g *Group) onViewInstall(m *types.Message) {
 	g.install(v, nil)
 }
 
+// onStateTransfer handles the legacy one-shot transfer kind (wire compat with
+// pre-chunking senders; nothing in this repository emits it anymore). It is
+// fenced: only a member still awaiting its join-time state accepts one, and
+// only for a view at or after the member's first — a delayed transfer from an
+// older view must not overwrite a newer restore.
 func (g *Group) onStateTransfer(m *types.Message) {
-	if g.cfg.StateReceiver != nil {
-		g.cfg.StateReceiver(append([]byte(nil), m.Payload...))
+	if g.closed || g.state == nil {
+		return
 	}
+	if !g.joined {
+		g.earlyState = append(g.earlyState, m)
+		return
+	}
+	if !g.awaitingState || g.xfer == nil || m.View < g.xfer.minView {
+		return
+	}
+	if g.xfer.locked && m.View < g.xfer.offerView {
+		return
+	}
+	g.finishStateTransfer(append([]byte(nil), m.Payload...), m.View, true)
 }
 
 // cutSatisfied reports whether this member holds every cast the install's
@@ -1290,7 +1416,8 @@ func (g *Group) onOrder(m *types.Message) {
 
 func (g *Group) deliver(m *types.Message) {
 	obs := g.stack.obs.OnDeliver
-	if g.cfg.OnDeliver == nil && obs == nil && len(g.delSubs) == 0 {
+	if g.cfg.OnDeliver == nil && obs == nil && len(g.delSubs) == 0 &&
+		g.wal == nil && !g.awaitingState {
 		return
 	}
 	d := Delivery{
@@ -1305,8 +1432,17 @@ func (g *Group) deliver(m *types.Message) {
 	if len(m.VT) > 0 {
 		d.VT = append([]uint64(nil), m.VT...)
 	}
-	if g.cfg.OnDeliver != nil {
-		g.cfg.OnDeliver(d)
+	if g.awaitingState {
+		// A joining member holds application deliveries until its checkpoint
+		// restore so the two compose exactly-once; the observer and the
+		// subscription channels still see the delivery at its protocol
+		// position.
+		g.held = append(g.held, d)
+	} else {
+		if g.cfg.OnDeliver != nil {
+			g.cfg.OnDeliver(d)
+		}
+		g.walAppend(&d)
 	}
 	if obs != nil {
 		// The observer's copy is private (it may be retained by history

@@ -34,9 +34,29 @@ func (g *Group) onRecoveryTick() {
 	g.rel.Advance()
 	g.total.SetStable(g.rel.StableOrd(g.total.NextSeq() - 1))
 
-	// Wedged with no install in sight: ask a member that moved on.
+	// Wedged with no install in sight: ask a member that moved on. If a full
+	// NAK rotation over the live members finds nobody holding the install,
+	// the proposing coordinator died before any survivor processed it — the
+	// change exists only as wedges now, and no amount of asking will produce
+	// it. The acting coordinator (every member ranked above it is suspected)
+	// then takes the view change over and re-proposes; everyone else keeps
+	// asking, because the takeover proposal is what will un-wedge them.
 	if g.wedged && g.pending == nil && g.proposedView > g.view.ID && g.flush == nil {
-		g.sendViewNak()
+		g.wedgeTicks++
+		if g.wedgeTicks > g.view.Size() && g.actingCoordinator() == g.stack.node.PID() {
+			g.takeOverViewChange()
+		} else {
+			g.sendViewNak()
+		}
+	} else {
+		g.wedgeTicks = 0
+	}
+
+	// Durable state upkeep rides the same heartbeat: flush the write-ahead
+	// log's append batch, and re-drive a stalled checkpoint transfer.
+	g.walTick()
+	if g.awaitingState {
+		g.stateXferTick()
 	}
 
 	if rcfg.DisableRetransmit {

@@ -19,6 +19,11 @@ type Stack struct {
 	node *node.Node
 	det  *fdetect.Detector
 
+	// walDir, when non-empty, is the directory holding the write-ahead
+	// delivery logs of this process's stateful groups. Set before any group
+	// is created or joined.
+	walDir string
+
 	// groups and obs are only touched on the actor goroutine.
 	groups map[string]*Group
 	obs    Observer
@@ -48,6 +53,9 @@ func NewStack(n *node.Node, det *fdetect.Detector) *Stack {
 	n.Handle(types.KindViewFlushAck, s.route((*Group).onViewFlushAck))
 	n.Handle(types.KindViewInstall, s.onViewInstall)
 	n.Handle(types.KindStateTransfer, s.route((*Group).onStateTransfer))
+	n.Handle(types.KindStateOffer, s.route((*Group).onStateOffer))
+	n.Handle(types.KindStateChunk, s.route((*Group).onStateChunk))
+	n.Handle(types.KindStateNak, s.route((*Group).onStateNak))
 	n.Handle(types.KindCast, s.route((*Group).onCast))
 	n.HandleBatch(types.KindCast, s.routeCastBatch)
 	n.Handle(types.KindCastAck, s.route((*Group).onCastAck))
@@ -84,6 +92,21 @@ func (s *Stack) SetObserver(o Observer) {
 
 // Detector returns the stack's failure detector (may be nil).
 func (s *Stack) Detector() *fdetect.Detector { return s.det }
+
+// SetWALDir points the stack at the directory holding this process's
+// write-ahead delivery logs (empty disables durable logging, the default).
+// Call it before creating or joining groups; groups with a State handler
+// then log applied deliveries and recover them at Create.
+func (s *Stack) SetWALDir(dir string) {
+	_ = s.node.Call(func() { s.walDir = dir })
+}
+
+// WALDir returns the stack's write-ahead-log directory ("" when disabled).
+func (s *Stack) WALDir() string {
+	var dir string
+	_ = s.node.Call(func() { dir = s.walDir })
+	return dir
+}
 
 // route adapts a Group method into a node handler, dispatching on the
 // message's group id.
@@ -162,6 +185,13 @@ func (s *Stack) Create(gid types.GroupID, cfg Config) (*Group, error) {
 		}
 		g = newGroup(s, gid, cfg)
 		s.groups[gid.Key()] = g
+		// A founding member's disk is the freshest copy of the group's
+		// state: recover the write-ahead log (if any) before the founding
+		// install captures the first checkpoint.
+		if g.state != nil {
+			g.recoverFromWAL(g.openWAL(false))
+			g.stateReady = true
+		}
 		v := member.NewView(gid, 1, []types.ProcessID{s.node.PID()})
 		g.install(v, nil)
 	})
@@ -186,6 +216,9 @@ func (s *Stack) Join(ctx context.Context, gid types.GroupID, contact types.Proce
 		}
 		g = newGroup(s, gid, cfg)
 		s.groups[gid.Key()] = g
+		// A joiner's log starts fresh: whatever a previous incarnation
+		// logged is superseded by the incoming state transfer.
+		_ = g.openWAL(true)
 	})
 	if callErr != nil {
 		return nil, callErr
@@ -242,6 +275,7 @@ func (s *Stack) abandon(gid types.GroupID) {
 	_ = s.node.Call(func() {
 		if g, ok := s.groups[gid.Key()]; ok && !g.joined {
 			g.closed = true
+			g.closeWAL()
 			delete(s.groups, gid.Key())
 		}
 	})

@@ -1,0 +1,375 @@
+package group_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+// testStore is a replicated map for state-transfer tests. Values are apply
+// counters: delivering key k sets data[k]++ — so any double-apply (a held
+// delivery already covered by the checkpoint) shows up as a divergent
+// snapshot, making cross-member equality the exactly-once check.
+type testStore struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func newTestStore() *testStore { return &testStore{data: make(map[string]int)} }
+
+func (s *testStore) onDeliver(d group.Delivery) {
+	s.mu.Lock()
+	s.data[string(d.Payload)]++
+	s.mu.Unlock()
+}
+
+func (s *testStore) put(k string, n int) {
+	s.mu.Lock()
+	s.data[k] = n
+	s.mu.Unlock()
+}
+
+func (s *testStore) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s\x00%d\n", k, s.data[k])
+	}
+	return []byte(b.String()), nil
+}
+
+func (s *testStore) Restore(b []byte) error {
+	data := make(map[string]int)
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "\x00")
+		if !ok {
+			return fmt.Errorf("bad snapshot line %q", line)
+		}
+		n := 0
+		fmt.Sscanf(v, "%d", &n)
+		data[k] = n
+	}
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *testStore) snapshotString() string {
+	b, _ := s.Snapshot()
+	return string(b)
+}
+
+func (s *testStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// TestChunkedStateTransferToJoiner: a checkpoint far larger than the chunk
+// size arrives whole through the streaming path.
+func TestChunkedStateTransferToJoiner(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("big-state")
+
+	s0 := newTestStore()
+	big := strings.Repeat("x", 4000)
+	for i := 0; i < 50; i++ {
+		s0.put(fmt.Sprintf("key-%03d-%s", i, big), 1)
+	}
+	_, err := c.Proc(0).Stack.Create(gid, group.Config{State: s0, StateChunkBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := newTestStore()
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: s1, StateChunkBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s0.snapshotString()
+	if !cluster.WaitFor(testTimeout, func() bool { return s1.snapshotString() == want }) {
+		t.Fatalf("joiner state differs: %d keys, want %d", s1.len(), s0.len())
+	}
+	st := g1.StateStats()
+	if st.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", st.Restores)
+	}
+	if st.ChunksReceived < 10 {
+		t.Errorf("ChunksReceived = %d, expected a multi-chunk transfer", st.ChunksReceived)
+	}
+}
+
+// TestStaleViewStateTransferIgnored is the regression test for the unfenced
+// legacy handler: a KindStateTransfer arriving at an already-joined member
+// (stale view, misdirected, or delayed) must not clobber its state.
+func TestStaleViewStateTransferIgnored(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("fenced")
+
+	s0 := newTestStore()
+	s0.put("genuine", 1)
+	_, err := c.Proc(0).Stack.Create(gid, group.Config{State: s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestStore()
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return g1.StateStats().Restores == 1 }) {
+		t.Fatal("join transfer missing")
+	}
+
+	// A stale one-shot transfer claiming an old view must be dropped.
+	stale := &types.Message{
+		Kind:    types.KindStateTransfer,
+		Group:   gid,
+		View:    1,
+		Payload: []byte("bogus\x001\n"),
+	}
+	if err := c.Proc(0).Node.Send(c.Proc(1).ID, stale); err != nil {
+		t.Fatal(err)
+	}
+	// Give it ample time to arrive, then assert nothing changed.
+	if cluster.WaitFor(300*time.Millisecond, func() bool { return g1.StateStats().Restores > 1 }) {
+		t.Fatal("stale state transfer restored")
+	}
+	if got := s1.snapshotString(); got != s0.snapshotString() {
+		t.Fatalf("state clobbered by stale transfer: %q", got)
+	}
+}
+
+// TestStateChunkLossRecovered: dropped checkpoint chunks are repaired by the
+// joiner's state NAKs — the reliability fix for the old one-shot transfer,
+// which a single lost frame silently voided.
+func TestStateChunkLossRecovered(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("lossy-state")
+
+	var dropped atomic.Int32
+	c.Fabric.AddDropRule(func(p netsim.Packet) bool {
+		if p.Msg.Kind == types.KindStateChunk && dropped.Load() < 7 {
+			dropped.Add(1)
+			return true
+		}
+		return false
+	})
+
+	s0 := newTestStore()
+	big := strings.Repeat("y", 2000)
+	for i := 0; i < 40; i++ {
+		s0.put(fmt.Sprintf("k-%03d-%s", i, big), 1)
+	}
+	_, err := c.Proc(0).Stack.Create(gid, group.Config{State: s0, StateChunkBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestStore()
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: s1, StateChunkBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s0.snapshotString()
+	if !cluster.WaitFor(testTimeout, func() bool { return s1.snapshotString() == want }) {
+		t.Fatalf("transfer never completed under chunk loss (dropped %d)", dropped.Load())
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("drop rule never fired; test is vacuous")
+	}
+	if st := g1.StateStats(); st.NaksSent == 0 {
+		t.Errorf("transfer completed without NAKs despite %d dropped chunks", dropped.Load())
+	}
+}
+
+// TestHolderCrashMidTransferFailsOver: the joiner locks onto the
+// coordinator's checkpoint, the coordinator dies before any chunk lands, and
+// the transfer fails over to the surviving member's identical cut.
+func TestHolderCrashMidTransferFailsOver(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("failover")
+
+	stores := []*testStore{newTestStore(), newTestStore(), newTestStore()}
+	big := strings.Repeat("z", 1000)
+	for i := 0; i < 30; i++ {
+		stores[0].put(fmt.Sprintf("k-%03d-%s", i, big), 1)
+	}
+	g0, err := c.Proc(0).Stack.Create(gid, group.Config{State: stores[0], StateChunkBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: stores[1], StateChunkBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stores[0].snapshotString()
+	if !cluster.WaitFor(testTimeout, func() bool { return stores[1].snapshotString() == want }) {
+		t.Fatal("first join transfer failed")
+	}
+	_ = g0
+
+	// Black-hole every chunk the creator sends from here on: the third
+	// member's transfer locks onto its offer but can never complete from it.
+	p0 := c.Proc(0).ID
+	c.Fabric.AddDropRule(func(p netsim.Packet) bool {
+		return p.Msg.Kind == types.KindStateChunk && p.From == p0
+	})
+
+	g2, err := c.Proc(2).Stack.Join(ctxT(t), gid, p0, group.Config{State: stores[2], StateChunkBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return g2.StateStats().OffersReceived >= 1 }) {
+		t.Fatal("joiner never locked an offer")
+	}
+
+	// Kill the holder mid-transfer; the survivor holds the same cut.
+	c.Crash(0)
+	c.InjectFailure(0)
+
+	if !cluster.WaitFor(testTimeout, func() bool { return stores[2].snapshotString() == want }) {
+		st := g2.StateStats()
+		t.Fatalf("transfer did not fail over: stats %+v", st)
+	}
+	if !cluster.WaitForViewSize(testTimeout, 2, g1, g2) {
+		t.Fatal("view did not settle after crash")
+	}
+}
+
+// TestJoinDuringCastStreamExactlyOnce: a member joining mid-stream composes
+// checkpoint + held deliveries with no gap and no double-apply. The apply
+// counters make a double-apply visible as snapshot divergence.
+func TestJoinDuringCastStreamExactlyOnce(t *testing.T) {
+	c := cluster.MustNew(3, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("stream-join")
+
+	stores := []*testStore{newTestStore(), newTestStore(), newTestStore()}
+	g0, err := c.Proc(0).Stack.Create(gid, group.Config{State: stores[0], OnDeliver: stores[0].onDeliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: stores[1], OnDeliver: stores[1].onDeliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const casts = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < casts; i++ {
+			g0.CastAsync(types.Total, []byte(fmt.Sprintf("op-%04d", i)))
+		}
+	}()
+
+	// Join while the stream is in flight.
+	g2, err := c.Proc(2).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{State: stores[2], OnDeliver: stores[2].onDeliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if !cluster.WaitFor(testTimeout, func() bool {
+		return stores[0].len() == casts &&
+			stores[0].snapshotString() == stores[1].snapshotString() &&
+			stores[0].snapshotString() == stores[2].snapshotString()
+	}) {
+		t.Fatalf("replicas diverged: %d/%d/%d keys (exactly-once violated if counters differ)",
+			stores[0].len(), stores[1].len(), stores[2].len())
+	}
+	_ = g1
+	_ = g2
+}
+
+// TestWALRecoveryAfterFullRestart: a fully restarted singleton recovers its
+// state from the write-ahead log — checkpoint plus logged deliveries.
+func TestWALRecoveryAfterFullRestart(t *testing.T) {
+	dir := t.TempDir()
+	gid := types.FlatGroup("durable")
+
+	c := cluster.MustNew(1, cluster.Options{WALDir: dir})
+	s := newTestStore()
+	g, err := c.Proc(0).Stack.Create(gid, group.Config{State: s, OnDeliver: s.onDeliver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		g.CastAsync(types.Total, []byte(fmt.Sprintf("durable-op-%03d", i)))
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { return s.len() == 60 }) {
+		t.Fatalf("only %d ops applied", s.len())
+	}
+	if g.StateStats().WALAppends == 0 {
+		t.Fatal("no WAL appends recorded")
+	}
+	want := s.snapshotString()
+	c.Stop()
+
+	// Same WAL directory, fresh cluster: site-1 recovers site-1's log.
+	c2 := cluster.MustNew(1, cluster.Options{WALDir: dir})
+	defer c2.Stop()
+	s2 := newTestStore()
+	if _, err := c2.Proc(0).Stack.Create(gid, group.Config{State: s2, OnDeliver: s2.onDeliver}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.snapshotString(); got != want {
+		t.Fatalf("recovered state differs: %d keys, want %d", s2.len(), s.len())
+	}
+}
+
+// TestLegacyFuncPairStillServed: the deprecated StateProvider/StateReceiver
+// fields ride the chunked path through the adapter (TestStateTransferToJoiner
+// covers the happy path; this one pins the stats so the adapter demonstrably
+// uses the new machinery).
+func TestLegacyFuncPairStillServed(t *testing.T) {
+	c := cluster.MustNew(2, cluster.Options{})
+	defer c.Stop()
+	gid := types.FlatGroup("legacy")
+	state := strings.Repeat("legacy-state ", 1000)
+	_, err := c.Proc(0).Stack.Create(gid, group.Config{
+		StateProvider:   func() []byte { return []byte(state) },
+		StateChunkBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got string
+	g1, err := c.Proc(1).Stack.Join(ctxT(t), gid, c.Proc(0).ID, group.Config{
+		StateReceiver:   func(b []byte) { mu.Lock(); got = string(b); mu.Unlock() },
+		StateChunkBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.WaitFor(testTimeout, func() bool { mu.Lock(); defer mu.Unlock(); return got == state }) {
+		t.Fatal("legacy transfer missing or wrong")
+	}
+	if st := g1.StateStats(); st.ChunksReceived < 2 {
+		t.Errorf("legacy transfer not chunked: %d chunks", st.ChunksReceived)
+	}
+}

@@ -1,0 +1,135 @@
+package group
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// This file binds a group membership to its write-ahead delivery log. The
+// log's lifecycle follows the membership: opened at Create/Join registration
+// (when the stack has a WAL directory and the group a state handler),
+// appended to for every applied delivery, compacted to the checkpoint at
+// install-time captures, fsynced in batches from the recovery tick, and
+// closed when the member leaves. Only Create replays the log — a founding
+// member is the one case where disk is the freshest copy of the group's
+// state; a joiner's log is reset and re-seeded by its incoming transfer.
+
+// walPath maps a group id into the stack's WAL directory. The name hashes
+// the group key so hierarchical path-qualified ids stay filesystem-safe.
+func walPath(dir string, gid types.GroupID) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(gid.Key()))
+	return filepath.Join(dir, fmt.Sprintf("g-%016x.wal", h.Sum64()))
+}
+
+// openWAL attaches the group's log and returns its recovered content. fresh
+// discards any existing content first (the Join path: whatever a previous
+// incarnation logged is superseded by the incoming state transfer). A log
+// that fails to open leaves the group running in-memory — durability is an
+// option, not a liveness dependency.
+func (g *Group) openWAL(fresh bool) wal.Recovered {
+	if g.stack.walDir == "" || g.state == nil {
+		return wal.Recovered{}
+	}
+	l, rec, err := wal.Open(walPath(g.stack.walDir, g.id))
+	if err != nil {
+		return wal.Recovered{}
+	}
+	g.wal = l
+	if fresh {
+		_ = l.Reset()
+		return wal.Recovered{}
+	}
+	return rec
+}
+
+// recoverFromWAL rebuilds application state from the log: restore the last
+// checkpoint, then replay the deliveries logged after it through the
+// handler's Apply when it has one (so recovery does not re-trigger side
+// effects wired into OnDeliver) or the OnDeliver callback otherwise.
+func (g *Group) recoverFromWAL(rec wal.Recovered) {
+	if g.state == nil || (rec.Snapshot == nil && len(rec.Deliveries) == 0) {
+		return
+	}
+	if rec.Snapshot != nil {
+		if err := g.state.Restore(rec.Snapshot.Payload); err != nil {
+			return
+		}
+	}
+	applier, _ := g.state.(StateApplier)
+	for _, m := range rec.Deliveries {
+		d := Delivery{
+			Group:    g.id,
+			View:     m.View,
+			From:     m.ID.Sender,
+			ID:       m.ID,
+			Ordering: m.Ordering,
+			Seq:      m.Seq,
+			Payload:  m.Payload,
+		}
+		if applier != nil {
+			applier.Apply(d)
+		} else if g.cfg.OnDeliver != nil {
+			g.cfg.OnDeliver(d)
+		}
+	}
+}
+
+// walAppend logs one applied delivery (no fsync; the recovery tick batches).
+func (g *Group) walAppend(d *Delivery) {
+	if g.wal == nil {
+		return
+	}
+	m := &types.Message{
+		Kind:     types.KindCast,
+		Group:    g.id,
+		View:     d.View,
+		ID:       d.ID,
+		Ordering: d.Ordering,
+		Seq:      d.Seq,
+		Payload:  d.Payload,
+	}
+	if err := g.wal.Append(m); err == nil {
+		g.stateStats.WALAppends++
+	}
+}
+
+// walSnapshot rewrites the log to a single checkpoint record.
+func (g *Group) walSnapshot(view types.ViewID, data []byte) {
+	if g.wal == nil {
+		return
+	}
+	if err := g.wal.AppendSnapshot(view, data); err == nil {
+		g.stateStats.WALCompactions++
+	}
+}
+
+// walCompactMaybe compacts at a checkpoint capture when enough deliveries
+// accumulated since the last snapshot record (or the log is still empty).
+func (g *Group) walCompactMaybe(view types.ViewID, data []byte) {
+	if g.wal == nil {
+		return
+	}
+	if g.wal.Size() == 0 || g.wal.SinceSnapshot() >= g.cfg.WALCompactBytes {
+		g.walSnapshot(view, data)
+	}
+}
+
+// walTick drives the batched fsync from the recovery tick.
+func (g *Group) walTick() {
+	if g.wal != nil {
+		_ = g.wal.Sync()
+	}
+}
+
+// closeWAL syncs and detaches the log (leave/removal).
+func (g *Group) closeWAL() {
+	if g.wal != nil {
+		_ = g.wal.Close()
+		g.wal = nil
+	}
+}

@@ -1,0 +1,113 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/group"
+)
+
+func apply(s *Store, op byte, nonce uint64, k, v string) {
+	s.Apply(group.Delivery{Payload: EncodeOp(op, nonce, k, v)})
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	b := EncodeOp(OpPut, 42, "color", "blue")
+	op, nonce, k, v, ok := DecodeOp(b)
+	if !ok || op != OpPut || nonce != 42 || k != "color" || v != "blue" {
+		t.Fatalf("round trip: op=%d nonce=%d k=%q v=%q ok=%v", op, nonce, k, v, ok)
+	}
+	if _, _, _, _, ok := DecodeOp([]byte{99, 0}); ok {
+		t.Fatal("foreign payload decoded as op")
+	}
+	if _, _, _, _, ok := DecodeOp(nil); ok {
+		t.Fatal("empty payload decoded as op")
+	}
+}
+
+func TestApplyPutDelete(t *testing.T) {
+	s := New()
+	apply(s, OpPut, 1, "a", "1")
+	apply(s, OpPut, 2, "b", "2")
+	apply(s, OpPut, 3, "a", "3")
+	if v, ok := s.Get("a"); !ok || v != "3" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	apply(s, OpDelete, 4, "a", "")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("a survived delete")
+	}
+	if s.Len() != 1 || s.Applied() != 4 {
+		t.Fatalf("len=%d applied=%d", s.Len(), s.Applied())
+	}
+}
+
+func TestWaitSignalledByApply(t *testing.T) {
+	s := New()
+	ch := s.Wait(7)
+	select {
+	case <-ch:
+		t.Fatal("waiter fired before apply")
+	default:
+	}
+	apply(s, OpPut, 7, "k", "v")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("waiter not signalled")
+	}
+}
+
+// TestDigestOrderIndependent: two replicas applying the same ops in different
+// orders (as long as last-writer-per-key agrees) end with equal digests, and
+// different contents end with different digests.
+func TestDigestOrderIndependent(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 50; i++ {
+		apply(a, OpPut, uint64(i), fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	for i := 49; i >= 0; i-- {
+		apply(b, OpPut, uint64(i), fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal contents, unequal digests")
+	}
+	apply(b, OpPut, 1000, "extra", "x")
+	if a.Digest() == b.Digest() {
+		t.Fatal("unequal contents, equal digests")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 20; i++ {
+		apply(s, OpPut, uint64(i), fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%d", i*i))
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: a second snapshot of the same contents is identical.
+	snap2, _ := s.Snapshot()
+	if string(snap) != string(snap2) {
+		t.Fatal("snapshot not deterministic")
+	}
+	r := New()
+	apply(r, OpPut, 999, "junk", "overwritten-by-restore")
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.Digest() != s.Digest() {
+		t.Fatal("restore did not reproduce contents")
+	}
+	if _, ok := r.Get("junk"); ok {
+		t.Fatal("restore kept pre-existing key")
+	}
+}
+
+func TestRestoreCorruptSnapshot(t *testing.T) {
+	s := New()
+	if err := s.Restore([]byte{1, 2}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

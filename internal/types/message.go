@@ -72,6 +72,11 @@ const (
 	KindTreeCastRepair // retransmitted tree-broadcast record answering a NAK
 	KindHLeaderInvite  // leader coordinator recruits a member into the leader group
 	KindHLeaderUpdate  // leader coordinator pushes fresh leader contacts to the leaves
+
+	// Durable state: streaming view-consistent checkpoint transfer.
+	KindStateOffer // holder announces a checkpoint for a view (size, chunking, digest)
+	KindStateChunk // one checkpoint chunk (Seq carries the chunk index)
+	KindStateNak   // joiner asks a holder for missing chunks or a fresh offer
 )
 
 // String returns the symbolic name of the kind for logs and tests.
@@ -97,6 +102,7 @@ func (k Kind) String() string {
 		KindViewNak:     "view-nak",
 		KindTreeCastNak: "treecast-nak", KindTreeCastRepair: "treecast-repair",
 		KindHLeaderInvite: "hleader-invite", KindHLeaderUpdate: "hleader-update",
+		KindStateOffer: "state-offer", KindStateChunk: "state-chunk", KindStateNak: "state-nak",
 	}
 	if s, ok := names[k]; ok {
 		return s

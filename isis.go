@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -95,6 +96,20 @@ type (
 	// (NAKs sent/served, flush forwarding, sequencer-failover
 	// re-announcements, stability pruning).
 	ReliabilityStats = reliability.Stats
+	// StateHandler is the application's durable-state hook: Snapshot is
+	// captured view-consistently at installs and streamed (chunked,
+	// NAK-recoverable) to joining members; Restore receives a checkpoint on
+	// join or from the write-ahead log at create. Set it on GroupConfig.State
+	// or ServiceConfig.State.
+	StateHandler = group.StateHandler
+	// StateApplier is the optional extension of StateHandler: handlers that
+	// implement it receive write-ahead-log-recovered deliveries through
+	// Apply instead of the OnDeliver callback.
+	StateApplier = group.StateApplier
+	// StateTransferStats count a group member's checkpoint-transfer and
+	// write-ahead-log activity (offers, chunks, NAKs, restores, held
+	// deliveries applied or dropped, WAL appends and compactions).
+	StateTransferStats = group.StateTransferStats
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -145,6 +160,7 @@ type options struct {
 	faults      []FaultEvent
 	fanout      int
 	resiliency  int
+	walDir      string
 }
 
 // WithNetwork fully configures the simulated network fabric (latency model,
@@ -244,6 +260,23 @@ func WithFanout(n int) Option {
 // configs leave Resiliency zero.
 func WithResiliency(n int) Option {
 	return func(o *options) { o.resiliency = n }
+}
+
+// WithWAL gives every spawned process a write-ahead delivery log under dir
+// (each process logs into <dir>/site-<n>, keyed by site id so a restarted
+// site recovers its predecessor's log). Groups and services with a
+// StateHandler then survive whole-cluster restarts: a founding CreateGroup on
+// a site holding a log restores the last checkpoint and re-applies the
+// deliveries logged after it. Processes spawned with SpawnWAL override the
+// runtime-wide directory.
+func WithWAL(dir string) Option {
+	return func(o *options) { o.walDir = dir }
+}
+
+// WithoutWAL disables durable delivery logging (the default): group state
+// lives only in memory and a full-cluster restart starts from scratch.
+func WithoutWAL() Option {
+	return func(o *options) { o.walDir = "" }
 }
 
 // --- runtime -----------------------------------------------------------------
@@ -346,12 +379,40 @@ func (r *Runtime) Spawn() (*Process, error) {
 	r.sites[r.nextSite] = siteLocal
 	pid := ProcessID{Site: types.SiteID(r.nextSite), Incarnation: 1}
 	r.mu.Unlock()
+	return r.spawnPID(pid, r.walDirFor(uint32(pid.Site)))
+}
 
+// SpawnWAL is Spawn with an explicit write-ahead-log directory for this one
+// process, overriding (or, with "", opting out of) the runtime-wide WithWAL
+// directory. Restart harnesses use it to hand a replacement process its
+// predecessor's log.
+func (r *Runtime) SpawnWAL(dir string) (*Process, error) {
+	r.mu.Lock()
+	r.nextSite++
+	for r.sites[r.nextSite] != 0 {
+		r.nextSite++
+	}
+	r.sites[r.nextSite] = siteLocal
+	pid := ProcessID{Site: types.SiteID(r.nextSite), Incarnation: 1}
+	r.mu.Unlock()
+	return r.spawnPID(pid, dir)
+}
+
+// walDirFor maps a site id to its per-site log directory under the
+// runtime-wide WithWAL root ("" when the runtime has no WAL configured).
+func (r *Runtime) walDirFor(site uint32) string {
+	if r.opts.walDir == "" {
+		return ""
+	}
+	return filepath.Join(r.opts.walDir, fmt.Sprintf("site-%d", site))
+}
+
+func (r *Runtime) spawnPID(pid ProcessID, walDir string) (*Process, error) {
 	network := r.net
 	if r.tcp != nil {
 		network = r.tcp
 	}
-	bp, err := boot.Spawn(pid, network, r.opts.detector, r.opts.batching)
+	bp, err := boot.Spawn(pid, network, r.opts.detector, r.opts.batching, walDir)
 	if err != nil {
 		r.mu.Lock()
 		delete(r.sites, uint32(pid.Site))
@@ -396,7 +457,7 @@ func (r *Runtime) SpawnAt(site uint32, listen string) (*Process, error) {
 		release()
 		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
 	}
-	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector, r.opts.batching)
+	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector, r.opts.batching, r.walDirFor(site))
 	if err != nil {
 		_ = ep.Close()
 		release()

@@ -1,0 +1,125 @@
+package isis
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/kvstore"
+)
+
+// KV is a replicated key-value map layered on one flat group: every mutation
+// is an ABCAST operation, so all replicas apply the identical total order and
+// hold identical maps. The map doubles as the group's StateHandler — joiners
+// receive it as a streamed checkpoint, and on runtimes spawned WithWAL it
+// survives whole-cluster restarts.
+//
+// Reads are local (any replica answers from its own map); Put and Delete
+// block until the operation has come back through the total order and been
+// applied locally, so a successful Put is immediately visible to a Get on
+// the same replica.
+type KV struct {
+	g     *Group
+	store *kvstore.Store
+	nonce atomic.Uint64
+}
+
+// CreateKV founds a replicated key-value map with this process as its first
+// replica. On a runtime spawned WithWAL, a process re-creating a map whose
+// write-ahead log survives on disk recovers its previous contents.
+func (p *Process) CreateKV(name string, cfg GroupConfig) (*KV, error) {
+	kv := newKV()
+	g, err := p.CreateGroup(name, kv.groupConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	kv.g = g
+	return kv, nil
+}
+
+// JoinKV adds this process as a replica of an existing map: the current
+// contents arrive as a streamed checkpoint before any new operations are
+// applied.
+func (p *Process) JoinKV(ctx context.Context, name string, contact ProcessID, cfg GroupConfig) (*KV, error) {
+	kv := newKV()
+	g, err := p.JoinGroup(ctx, name, contact, kv.groupConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	kv.g = g
+	return kv, nil
+}
+
+func newKV() *KV {
+	return &KV{store: kvstore.New()}
+}
+
+// groupConfig wires the store into the caller's GroupConfig: the store is
+// the group's state machine, so State and OnDeliver belong to it (a caller's
+// OnDeliver still observes each delivery after the store applies it).
+func (kv *KV) groupConfig(cfg GroupConfig) GroupConfig {
+	app := cfg.OnDeliver
+	cfg.State = kv.store
+	cfg.OnDeliver = func(d Delivery) {
+		kv.store.Apply(d)
+		if app != nil {
+			app(d)
+		}
+	}
+	return cfg
+}
+
+// Group returns the underlying flat group (views, membership, Leave).
+func (kv *KV) Group() *Group { return kv.g }
+
+// Put binds key to value on every replica and returns once the write is
+// applied locally (read-your-writes).
+func (kv *KV) Put(ctx context.Context, key, value string) error {
+	return kv.mutate(ctx, kvstore.OpPut, key, value)
+}
+
+// Delete removes key on every replica and returns once applied locally.
+func (kv *KV) Delete(ctx context.Context, key string) error {
+	return kv.mutate(ctx, kvstore.OpDelete, key, "")
+}
+
+// PutAsync issues a Put without waiting for the total order to bring it
+// back; load generators use it to keep many operations in flight.
+func (kv *KV) PutAsync(key, value string) {
+	kv.g.CastAsync(ABCAST, kvstore.EncodeOp(kvstore.OpPut, kv.nextNonce(), key, value))
+}
+
+func (kv *KV) mutate(ctx context.Context, op byte, key, value string) error {
+	nonce := kv.nextNonce()
+	applied := kv.store.Wait(nonce)
+	if err := kv.g.Cast(ctx, ABCAST, kvstore.EncodeOp(op, nonce, key, value)); err != nil {
+		kv.store.Forget(nonce)
+		return err
+	}
+	select {
+	case <-applied:
+		return nil
+	case <-ctx.Done():
+		kv.store.Forget(nonce)
+		return ctx.Err()
+	}
+}
+
+// nextNonce returns a process-unique operation nonce: replicas only ever
+// look up nonces they issued themselves, so site-prefixing is enough.
+func (kv *KV) nextNonce() uint64 {
+	return uint64(kv.g.Self().Site)<<32 | kv.nonce.Add(1)
+}
+
+// Get returns the value bound to key in this replica's map.
+func (kv *KV) Get(key string) (string, bool) { return kv.store.Get(key) }
+
+// Len returns the number of keys in this replica's map.
+func (kv *KV) Len() int { return kv.store.Len() }
+
+// Applied returns how many operations this replica has applied.
+func (kv *KV) Applied() uint64 { return kv.store.Applied() }
+
+// Digest is an order-independent fingerprint of this replica's map: equal
+// digests on two replicas mean equal contents. Convergence checks compare
+// digests across replicas at quiesce.
+func (kv *KV) Digest() uint64 { return kv.store.Digest() }

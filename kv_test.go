@@ -1,0 +1,137 @@
+package isis_test
+
+import (
+	"fmt"
+	"testing"
+
+	isis "repro"
+)
+
+// TestKVReplicationAndJoin: writes replicate through the total order with
+// read-your-writes, and a joiner receives the full map as a checkpoint.
+func TestKVReplicationAndJoin(t *testing.T) {
+	rt := isis.NewSimulated()
+	defer rt.Shutdown()
+	ctx := ctxT(t)
+
+	p1 := rt.MustSpawn()
+	kv1, err := p1.CreateKV("store", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := kv1.Put(ctx, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-your-writes: a completed Put is visible locally.
+	if v, ok := kv1.Get("k07"); !ok || v != "v7" {
+		t.Fatalf("k07 = %q, %v after Put returned", v, ok)
+	}
+
+	p2 := rt.MustSpawn()
+	kv2, err := p2.JoinKV(ctx, "store", p1.ID(), isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isis.Await(ctx, func() bool { return kv2.Digest() == kv1.Digest() && kv2.Len() == 30 }); err != nil {
+		t.Fatalf("joiner did not converge: %d keys vs %d", kv2.Len(), kv1.Len())
+	}
+
+	// Writes from the joiner replicate back.
+	if err := kv2.Put(ctx, "from-joiner", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := isis.Await(ctx, func() bool {
+		v, ok := kv1.Get("from-joiner")
+		return ok && v == "yes"
+	}); err != nil {
+		t.Fatal("creator never saw joiner's write")
+	}
+	if err := kv1.Delete(ctx, "k00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := isis.Await(ctx, func() bool { return kv1.Digest() == kv2.Digest() }); err != nil {
+		t.Fatal("replicas diverged after delete")
+	}
+}
+
+// TestKVWALClusterRestart: with WithWAL, a full shutdown loses nothing — the
+// re-created replica recovers checkpoint + logged deliveries from disk.
+func TestKVWALClusterRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := ctxT(t)
+
+	rt := isis.NewSimulated(isis.WithWAL(dir))
+	p1 := rt.MustSpawn()
+	kv1, err := p1.CreateKV("durable", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := kv1.Put(ctx, fmt.Sprintf("key-%02d", i), fmt.Sprintf("value-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := kv1.Digest()
+	if st := kv1.Group().StateStats(); st.WALAppends == 0 && st.WALCompactions == 0 {
+		t.Fatal("WAL never written despite WithWAL")
+	}
+	rt.Shutdown()
+
+	// A fresh runtime over the same directory: the first spawn is site-1
+	// again, so re-creating the map recovers site-1's log.
+	rt2 := isis.NewSimulated(isis.WithWAL(dir))
+	defer rt2.Shutdown()
+	p1b := rt2.MustSpawn()
+	kv1b, err := p1b.CreateKV("durable", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv1b.Digest() != want || kv1b.Len() != 40 {
+		t.Fatalf("recovered %d keys, digest match=%v", kv1b.Len(), kv1b.Digest() == want)
+	}
+	if v, ok := kv1b.Get("key-13"); !ok || v != "value-13" {
+		t.Fatalf("key-13 = %q, %v after recovery", v, ok)
+	}
+
+	// The recovered replica is live: new writes and new joiners work.
+	if err := kv1b.Put(ctx, "post-restart", "alive"); err != nil {
+		t.Fatal(err)
+	}
+	p2 := rt2.MustSpawn()
+	kv2, err := p2.JoinKV(ctx, "durable", p1b.ID(), isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isis.Await(ctx, func() bool { return kv2.Digest() == kv1b.Digest() }); err != nil {
+		t.Fatal("post-restart joiner did not converge")
+	}
+}
+
+// TestKVWithoutWALStartsEmpty: the same flow minus WithWAL must not recover —
+// durability is opt-in.
+func TestKVWithoutWALStartsEmpty(t *testing.T) {
+	ctx := ctxT(t)
+	rt := isis.NewSimulated()
+	p1 := rt.MustSpawn()
+	kv1, err := p1.CreateKV("ephemeral", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv1.Put(ctx, "gone", "soon"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+
+	rt2 := isis.NewSimulated()
+	defer rt2.Shutdown()
+	p1b := rt2.MustSpawn()
+	kv1b, err := p1b.CreateKV("ephemeral", isis.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv1b.Len() != 0 {
+		t.Fatalf("in-memory map recovered %d keys from nowhere", kv1b.Len())
+	}
+}

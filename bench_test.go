@@ -170,6 +170,24 @@ func BenchmarkE13StateTransfer(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows")
 }
 
+// BenchmarkE14RealNetwork regenerates E14: replicated-KV write throughput
+// over real loopback TCP sockets (per-peer connection manager, bounded send
+// queues, binary codec) and supervised-fleet recovery time from kill -9 under
+// the groupmgr-style supervisor. The recorded table (BENCH_net.json) is this
+// PR's real-network cost and self-healing latency. Builds and runs real
+// isis-node processes, so it is far slower than the in-memory benchmarks.
+func BenchmarkE14RealNetwork(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t1, t2, err := experiments.E14RealNetwork(experiments.Smoke)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = t1.Rows() + t2.Rows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkCastHotPath is the allocation-regression benchmark for the
 // broadcast hot path: one member of a warm 8-member group floods async FIFO
 // casts end to end (sender fan-out, outbox coalescing, batch intake,

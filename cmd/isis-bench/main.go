@@ -1,5 +1,5 @@
 // Command isis-bench regenerates the experiment tables recorded in
-// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E13 plus
+// EXPERIMENTS.md: one table (or pair of tables) per experiment E1–E14 plus
 // the ablations A1–A3.
 //
 // Usage:
@@ -12,7 +12,7 @@
 //
 // With -json DIR each selected experiment additionally writes its tables as
 // a JSON array to DIR/BENCH_<name>.json (E9 is named "batching", E12
-// "scaling", E13 "state"); CI runs a smoke subset and uploads these files as
+// "scaling", E13 "state", E14 "net"); CI runs a smoke subset and uploads these files as
 // build artifacts. -cpuprofile and -memprofile write pprof profiles covering
 // the selected experiments (see EXPERIMENTS.md, "Profiling the hot path").
 package main
@@ -88,7 +88,7 @@ func run(scaleName, expList, jsonDir string) bool {
 
 	selected := map[string]bool{}
 	if strings.EqualFold(expList, "all") {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2", "A3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3"} {
 			selected[id] = true
 		}
 	} else {
@@ -131,6 +131,10 @@ func run(scaleName, expList, jsonDir string) bool {
 		}},
 		{"E13", "state", func() ([]*metrics.Table, error) {
 			t1, t2, err := experiments.E13StateTransfer(scale)
+			return []*metrics.Table{t1, t2}, err
+		}},
+		{"E14", "net", func() ([]*metrics.Table, error) {
+			t1, t2, err := experiments.E14RealNetwork(scale)
 			return []*metrics.Table{t1, t2}, err
 		}},
 		{"A1", "A1", wrap1(experiments.A1Fanout)},

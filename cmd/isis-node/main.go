@@ -1,8 +1,8 @@
-// Command isis-node runs one workstation process over real TCP, either
-// founding a hierarchical service or joining an existing one, and then
-// serves requests until interrupted. It is built entirely on the public isis
-// facade — the same API the simulations exercise over the in-memory fabric —
-// which is the paper's transport-independence claim made concrete: only the
+// Command isis-node runs one workstation process over real TCP — founding
+// or joining either a hierarchical service or a replicated KV group — and
+// serves until interrupted. It is built entirely on the public isis facade,
+// the same API the simulations exercise over the in-memory fabric: the
+// paper's transport-independence claim made concrete, since only the
 // Runtime constructor differs between this daemon and the examples.
 //
 // Start a founder and two more members on one machine:
@@ -10,13 +10,46 @@
 //	isis-node -site 1 -listen 127.0.0.1:7001 -create -service quotes
 //	isis-node -site 2 -listen 127.0.0.1:7002 -service quotes -contact 1=127.0.0.1:7001
 //	isis-node -site 3 -listen 127.0.0.1:7003 -service quotes -contact 1=127.0.0.1:7001
+//
+// A durable KV replica under supervision (the isis-mgr supervisor builds
+// exactly this command line, bumping -incarnation on every restart so the
+// replacement is distinguishable from its crashed predecessor):
+//
+//	isis-node -site 2 -incarnation 3 -listen 127.0.0.1:7002 -mode kv \
+//	  -service bank -contact 1=127.0.0.1:7001,3=127.0.0.1:7003 \
+//	  -wal /var/lib/isis/site-2 -admin 127.0.0.1:8002
+//
+// -contact accepts a comma-separated list; joining tries each in turn until
+// one admits the node or the join timeout expires, so a fleet member comes
+// back even while the original founder is down. -admin serves a plaintext
+// HTTP endpoint for supervisors, clients and chaos drivers: GET /status
+// returns a JSON summary (view id and membership, KV digest, transport
+// counters), GET /get?key=k reads one key, GET /put?key=k&value=v writes one
+// (200 only after the write is applied through the total order — an acked
+// put is replicated).
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: write-ahead logs are
+// forced to stable storage and the process leaves cleanly.
+//
+// A KV daemon that discovers it was evicted from its group — the survivors
+// installed a view without it while it was stalled or partitioned — exits
+// with code 5 instead of serving stale state forever. Under a supervisor
+// that exit is the healing path: the slot restarts with a bumped
+// incarnation and rejoins through any surviving contact, pulling fresh
+// state as a streamed checkpoint.
+//
+// Exit codes: 0 clean shutdown, 2 usage error, 3 listen/spawn failure,
+// 4 create/join failure, 5 evicted from the group (restart to rejoin).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -27,70 +60,318 @@ import (
 	isis "repro"
 )
 
+const (
+	exitUsage   = 2
+	exitSpawn   = 3
+	exitJoin    = 4
+	exitEvicted = 5
+)
+
 func main() {
 	site := flag.Uint("site", 1, "site id of this workstation (must be unique)")
+	incarnation := flag.Uint("incarnation", 1, "incarnation of this site (bump on every supervised restart)")
 	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
-	service := flag.String("service", "quotes", "large-group service name")
+	admin := flag.String("admin", "", "admin HTTP listen address (empty disables)")
+	mode := flag.String("mode", "service", "what this node serves: service (hierarchical) or kv (replicated map)")
+	service := flag.String("service", "quotes", "service / KV group name")
 	create := flag.Bool("create", false, "found the service instead of joining it")
-	contact := flag.String("contact", "", "peer to join through, as site=host:port")
+	contact := flag.String("contact", "", "peers to join through, comma-separated site=host:port")
+	walDir := flag.String("wal", "", "write-ahead-log directory root (empty disables durability)")
 	fanout := flag.Int("fanout", 8, "fanout bound for the hierarchical group")
 	resiliency := flag.Int("resiliency", 3, "resiliency (acknowledgements / replicas)")
+	joinTimeout := flag.Duration("join-timeout", 30*time.Second, "how long to keep retrying the join before giving up")
+	hbInterval := flag.Duration("hb-interval", 100*time.Millisecond, "failure-detector heartbeat interval")
+	hbTimeout := flag.Duration("hb-timeout", time.Second, "failure-detector suspicion timeout (real processes fsync and get descheduled; keep this well above the interval)")
+	writeQuorum := flag.Int("write-quorum", 0, "minimum view size required to ack /put writes (0 derives a majority of the contact list plus self; prevents a rival minority partition from acking writes that die with it)")
 	flag.Parse()
 
-	rt := isis.NewTCP(
-		isis.WithHeartbeats(),
+	if *mode != "service" && *mode != "kv" {
+		log.Printf("bad -mode %q, want service or kv", *mode)
+		os.Exit(exitUsage)
+	}
+
+	contacts, err := parseContacts(*contact)
+	if err != nil {
+		log.Print(err)
+		os.Exit(exitUsage)
+	}
+	if !*create && len(contacts) == 0 {
+		log.Print("joining requires -contact site=host:port[,site=host:port...]")
+		os.Exit(exitUsage)
+	}
+
+	opts := []isis.Option{
+		isis.WithDetector(isis.DetectorConfig{Interval: *hbInterval, Timeout: *hbTimeout}),
 		isis.WithFanout(*fanout),
 		isis.WithResiliency(*resiliency),
-	)
+	}
+	if *walDir != "" {
+		opts = append(opts, isis.WithWAL(*walDir))
+	}
+	rt := isis.NewTCP(opts...)
 	defer rt.Shutdown()
 
-	var contactPID isis.ProcessID
-	if *contact != "" {
-		parts := strings.SplitN(*contact, "=", 2)
-		if len(parts) != 2 {
-			log.Fatalf("bad -contact %q, want site=host:port", *contact)
+	for _, c := range contacts {
+		if err := rt.AddPeer(c.site, c.addr); err != nil {
+			log.Print(err)
+			os.Exit(exitUsage)
 		}
-		siteNum, err := strconv.Atoi(parts[0])
+	}
+
+	p, err := rt.SpawnIncarnation(uint32(*site), uint32(*incarnation), *listen)
+	if err != nil {
+		log.Print(err)
+		os.Exit(exitSpawn)
+	}
+
+	quorum := *writeQuorum
+	if quorum <= 0 {
+		// Majority of the known fleet: the contacts plus this node. A
+		// founder started without contacts serves writes alone (dev usage).
+		quorum = (len(contacts)+1)/2 + 1
+		if len(contacts) == 0 {
+			quorum = 1
+		}
+	}
+	n := &nodeState{p: p, mode: *mode, service: *service, writeQuorum: quorum}
+	if err := n.serve(*create, contacts, *joinTimeout, *fanout, *resiliency); err != nil {
+		log.Print(err)
+		os.Exit(exitJoin)
+	}
+
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
 		if err != nil {
-			log.Fatalf("bad -contact site %q: %v", parts[0], err)
+			log.Printf("admin listen %s: %v", *admin, err)
+			os.Exit(exitSpawn)
 		}
-		contactPID = isis.Site(uint32(siteNum))
-		if err := rt.AddPeer(uint32(siteNum), parts[1]); err != nil {
-			log.Fatal(err)
-		}
+		go func() { _ = http.Serve(ln, n.adminMux()) }()
+		log.Printf("admin endpoint at http://%s/status", ln.Addr())
 	}
 
-	p, err := rt.SpawnAt(uint32(*site), *listen)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	cfg := isis.ServiceConfig{
-		RequestHandler: func(payload []byte) []byte {
-			return []byte(fmt.Sprintf("site %d handled %q at %s", *site, payload, time.Now().Format(time.RFC3339Nano)))
-		},
-		OnBroadcast: func(payload []byte) { log.Printf("broadcast delivered: %q", payload) },
-	}
-
-	var svc *isis.Service
-	if *create {
-		svc, err = p.CreateService(*service, cfg)
-	} else {
-		if contactPID.IsNil() {
-			log.Fatal("joining requires -contact site=host:port")
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		svc, err = p.JoinService(ctx, *service, contactPID, cfg)
-		cancel()
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("site %d up as %v at %s; service %q; leader=%v; leaf=%v",
-		*site, p.ID(), p.Addr(), *service, svc.IsLeader(), svc.Leaf().ID())
+	log.Printf("site %d up as %v at %s; mode %s; %s %q; members=%d",
+		*site, p.ID(), p.Addr(), *mode, *mode, *service, n.members())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
+
+	// Eviction watch: if the group installs a view without us (we were
+	// stalled or partitioned and the survivors moved on), serving stale
+	// state is worse than dying — exit 5 so a supervisor restarts this slot
+	// into a rejoin. Only KV replicas watch; a hierarchical service member's
+	// leaf group changes legitimately as the tree rebalances.
+	var evicted <-chan struct{}
+	if n.kv != nil {
+		evicted = n.kv.Group().Left()
+	}
+
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining (syncing write-ahead logs) and shutting down", s)
+		p.Stop() // graceful: forces WALs to stable storage before the actor exits
+	case <-evicted:
+		log.Printf("evicted from %s %q: exiting for supervised restart and rejoin", n.mode, n.service)
+		os.Exit(exitEvicted)
+	}
+}
+
+type peerContact struct {
+	site uint32
+	addr string
+}
+
+func parseContacts(s string) ([]peerContact, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []peerContact
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -contact entry %q, want site=host:port", part)
+		}
+		siteNum, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -contact site %q: %v", kv[0], err)
+		}
+		out = append(out, peerContact{site: uint32(siteNum), addr: kv[1]})
+	}
+	return out, nil
+}
+
+// nodeState is the daemon's served application: a hierarchical service or a
+// replicated KV group, plus the admin endpoint reading both.
+type nodeState struct {
+	p           *isis.Process
+	mode        string
+	service     string
+	writeQuorum int
+	svc         *isis.Service
+	kv          *isis.KV
+}
+
+// serve founds or joins the configured application. Joining walks the
+// contact list round-robin — each contact gets a bounded attempt (the join
+// protocol itself retries inside it) — until one admits us or the overall
+// timeout expires, so a supervised replacement rejoins even while some of
+// its original contacts are still dead.
+func (n *nodeState) serve(create bool, contacts []peerContact, timeout time.Duration, fanout, resiliency int) error {
+	svcCfg := isis.ServiceConfig{
+		RequestHandler: func(payload []byte) []byte {
+			return []byte(fmt.Sprintf("%v handled %q at %s", n.p.ID(), payload, time.Now().Format(time.RFC3339Nano)))
+		},
+		OnBroadcast: func(payload []byte) { log.Printf("broadcast delivered: %q", payload) },
+	}
+	kvCfg := isis.GroupConfig{Resiliency: resiliency}
+
+	if create {
+		var err error
+		if n.mode == "kv" {
+			n.kv, err = n.p.CreateKV(n.service, kvCfg)
+		} else {
+			n.svc, err = n.p.CreateService(n.service, svcCfg)
+		}
+		return err
+	}
+
+	deadline := time.Now().Add(timeout)
+	attempt := timeout / time.Duration(2*len(contacts))
+	if attempt < 2*time.Second {
+		attempt = 2 * time.Second
+	}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		for _, c := range contacts {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				break
+			}
+			if attempt < remaining {
+				remaining = attempt
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), remaining)
+			var err error
+			if n.mode == "kv" {
+				n.kv, err = n.p.JoinKV(ctx, n.service, isis.Site(c.site), kvCfg)
+			} else {
+				n.svc, err = n.p.JoinService(ctx, n.service, isis.Site(c.site), svcCfg)
+			}
+			cancel()
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			log.Printf("join via site %d failed: %v", c.site, err)
+		}
+	}
+	return fmt.Errorf("join %q timed out after %s: %w", n.service, timeout, lastErr)
+}
+
+func (n *nodeState) members() int {
+	if n.kv != nil {
+		return n.kv.Group().Size()
+	}
+	if n.svc != nil {
+		return n.svc.Leaf().Size()
+	}
+	return 0
+}
+
+// status is the admin endpoint's JSON summary. Supervisors poll Members to
+// see the fleet converge; chaos drivers compare Digest across replicas.
+type status struct {
+	PID         string   `json:"pid"`
+	Addr        string   `json:"addr"`
+	Mode        string   `json:"mode"`
+	Service     string   `json:"service"`
+	Members     int      `json:"members"`
+	ViewID      uint64   `json:"view_id,omitempty"`
+	ViewMembers []string `json:"view_members,omitempty"`
+	Applied     uint64   `json:"applied,omitempty"`
+	Keys        int      `json:"keys,omitempty"`
+	Digest      uint64   `json:"digest,omitempty"`
+	IsLeader    bool     `json:"is_leader,omitempty"`
+	Dials       uint64   `json:"dials"`
+	Reconnects  uint64   `json:"reconnects"`
+	FramesSent  uint64   `json:"frames_sent"`
+	FramesShed  uint64   `json:"frames_shed"`
+	WriteErrors uint64   `json:"write_errors"`
+	PeerDowns   uint64   `json:"peer_downs"`
+}
+
+func (n *nodeState) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		ts := n.p.TransportStats()
+		st := status{
+			PID:         fmt.Sprint(n.p.ID()),
+			Addr:        n.p.Addr(),
+			Mode:        n.mode,
+			Service:     n.service,
+			Members:     n.members(),
+			Dials:       ts.Dials,
+			Reconnects:  ts.Reconnects,
+			FramesSent:  ts.FramesSent,
+			FramesShed:  ts.FramesShed,
+			WriteErrors: ts.WriteErrors,
+			PeerDowns:   ts.PeerDowns,
+		}
+		if n.kv != nil {
+			st.Applied = n.kv.Applied()
+			st.Keys = n.kv.Len()
+			st.Digest = n.kv.Digest()
+			v := n.kv.Group().CurrentView()
+			st.ViewID = uint64(v.ID)
+			for _, m := range v.Members {
+				st.ViewMembers = append(st.ViewMembers, fmt.Sprint(m))
+			}
+		}
+		if n.svc != nil {
+			st.IsLeader = n.svc.IsLeader()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		if n.kv == nil {
+			http.Error(w, "not a kv node", http.StatusNotFound)
+			return
+		}
+		v, ok := n.kv.Get(r.URL.Query().Get("key"))
+		if !ok {
+			http.Error(w, "no such key", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintln(w, v)
+	})
+	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
+		if n.kv == nil {
+			http.Error(w, "not a kv node", http.StatusNotFound)
+			return
+		}
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		// Primary-partition rule: a replica stranded in a minority view —
+		// including a rival view a woken ghost built for itself — must not
+		// ack writes, because the winning partition will never have them and
+		// the fleet doctor will destroy the splinter they live in.
+		if m := n.members(); m < n.writeQuorum {
+			http.Error(w, fmt.Sprintf("no write quorum: view has %d members, need %d", m, n.writeQuorum),
+				http.StatusServiceUnavailable)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+		defer cancel()
+		if err := n.kv.Put(ctx, key, r.URL.Query().Get("value")); err != nil {
+			// Not acked: the write may or may not eventually apply, but the
+			// client must not count on it.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }

@@ -50,6 +50,15 @@ func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, b
 	})
 	p.Stack = group.NewStack(n, p.Detector)
 	p.Host = core.NewHost(p.Stack)
+	// Transports with connection management (TCP) report peers whose
+	// sockets are irrecoverably failing; hop onto the actor goroutine (the
+	// detector is actor-confined) and let the detector decide whether the
+	// peer is one whose death matters.
+	if pd, ok := n.Endpoint().(transport.PeerDownNotifier); ok {
+		pd.SetPeerDownHandler(func(peer types.ProcessID) {
+			n.Do(func() { p.Detector.TransportDown(peer) })
+		})
+	}
 	n.Start()
 	if walDir != "" {
 		p.Stack.SetWALDir(walDir) // runs via the actor loop, so after Start
@@ -57,11 +66,25 @@ func Spawn(pid types.ProcessID, network transport.Network, det fdetect.Config, b
 	return p, nil
 }
 
-// Stop halts the process: the detector's heartbeats end and the node's actor
-// loop exits, closing the transport endpoint. Stop is idempotent — crashing
-// a process and later shutting the whole runtime down must not stop it
-// twice.
+// Stop halts the process gracefully: the detector's heartbeats end, every
+// write-ahead log is forced to stable storage (so deliveries applied since
+// the last recovery tick survive a supervised restart), and the node's
+// actor loop exits, closing the transport endpoint. Stop is idempotent —
+// crashing a process and later shutting the whole runtime down must not
+// stop it twice.
 func (p *Proc) Stop() {
+	p.stopOnce.Do(func() {
+		p.Detector.Stop()
+		p.Stack.SyncWALs()
+		p.Node.Stop()
+	})
+}
+
+// Halt stops the process abruptly, without draining write-ahead logs — the
+// moral equivalent of a power failure. Crash simulations use it so graded
+// durability still reflects what the recovery-tick fsync batching actually
+// persisted, not a courtesy flush no real crash would perform.
+func (p *Proc) Halt() {
 	p.stopOnce.Do(func() {
 		p.Detector.Stop()
 		p.Node.Stop()

@@ -130,7 +130,7 @@ func (c *Cluster) Stop() {
 func (c *Cluster) Crash(i int) {
 	p := c.Procs[i]
 	c.Fabric.Crash(p.ID)
-	p.boot.Stop()
+	p.boot.Halt()
 }
 
 // InjectFailure tells every *other* live process that the i'th process has

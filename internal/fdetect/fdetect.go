@@ -138,6 +138,20 @@ func (d *Detector) Suspect(p types.ProcessID) {
 	d.declare(p)
 }
 
+// TransportDown reports a transport-level teardown signal: the socket path
+// to p is irrecoverably failing (repeated dial refusals or write timeouts).
+// Unlike Suspect it only declares peers currently monitored — the transport
+// also fails toward processes that were never group members (stale contacts,
+// operator typos), and those must not trigger view changes. A dead daemon is
+// thus suspected as soon as its socket dies instead of waiting out the
+// heartbeat timeout.
+func (d *Detector) TransportDown(p types.ProcessID) {
+	if _, ok := d.monitored[p]; !ok {
+		return
+	}
+	d.declare(p)
+}
+
 // Alive records a sign of life from p (any message counts, not only
 // heartbeats). The group layer calls it from its message handlers so busy
 // groups do not need heartbeat traffic to stay convinced of each other's

@@ -802,6 +802,26 @@ func (g *Group) onViewPropose(m *types.Message) {
 		}
 		return
 	}
+	if !g.view.Contains(m.From) {
+		// A proposal to close our current view from a process that is not in
+		// it: a ghost. Real-process chaos produces these — a member stalled
+		// under SIGSTOP is evicted, wakes with stale state, suspects the
+		// world and proposes rival view changes to the group it is no longer
+		// part of. Only current members (the acting coordinator, or a
+		// takeover coordinator) may close the view; wedging for a ghost
+		// would freeze the group forever, since the ghost's flush can never
+		// finish with an install we accept. Answer with the install that
+		// evicted it so the ghost discovers its removal and stands down.
+		if g.lastInstallPayload != nil {
+			_ = g.stack.node.Send(m.From, &types.Message{
+				Kind:    types.KindViewInstall,
+				Group:   g.id,
+				View:    g.lastInstallView,
+				Payload: g.lastInstallPayload,
+			})
+		}
+		return
+	}
 	g.wedged = true
 	g.proposeFrom = m.From
 	if m.View > g.proposedView {
@@ -858,6 +878,17 @@ func (g *Group) onViewInstall(m *types.Message) {
 	if g.joined && v.ID <= g.view.ID {
 		return // stale install
 	}
+	// The install that closes our current view must come from one of its
+	// members — the acting coordinator or a takeover coordinator, both by
+	// definition inside the view being closed. An install for view.ID+1 from
+	// an outsider is a ghost: a member evicted views ago that woke from a
+	// stall still believing it owns the group and kept installing rival
+	// views. Accepting it would desynchronise us from the surviving
+	// majority (or, below, make us remove ourselves). Checked before the
+	// flush-abandon block so a ghost cannot abort a real takeover flush.
+	if g.joined && v.ID == g.view.ID+1 && !g.view.Contains(m.From) {
+		return
+	}
 	// An install for (or past) the view we are proposing as a takeover
 	// coordinator: the original change completed somewhere after all. Adopt
 	// the install and abandon our flush — two completed flushes for the same
@@ -869,6 +900,19 @@ func (g *Group) onViewInstall(m *types.Message) {
 	self := g.stack.node.PID()
 	if !v.Contains(self) {
 		// We have been removed (left, or wrongly suspected while partitioned).
+		// But never on the word of a process we ourselves suspect: a member
+		// stalled long enough to be evicted wakes believing everyone else is
+		// dead, installs a rival singleton view unilaterally, and broadcasts
+		// that install to the view it just "closed" — accepting it would make
+		// healthy members of the surviving majority remove themselves. The
+		// ghost's install races the real one here, so the suspicion set is
+		// the discriminator: the real coordinator's install retains us (taken
+		// above), while an install that evicts us *and* comes from a process
+		// whose heartbeats have stopped is the ghost's. The ghost itself
+		// stays in its rival view; the fleet doctor restarts it.
+		if g.joined && g.suspected[m.From] {
+			return
+		}
 		g.markLeft()
 		return
 	}

@@ -108,6 +108,18 @@ func (s *Stack) WALDir() string {
 	return dir
 }
 
+// SyncWALs forces every group's write-ahead log to stable storage. A
+// graceful shutdown (SIGTERM drain in the daemon) calls it before stopping
+// the node so deliveries applied since the last recovery tick survive the
+// restart.
+func (s *Stack) SyncWALs() {
+	_ = s.node.Call(func() {
+		for _, g := range s.groups {
+			g.walTick()
+		}
+	})
+}
+
 // route adapts a Group method into a node handler, dispatching on the
 // message's group id.
 func (s *Stack) route(fn func(*Group, *types.Message)) node.Handler {

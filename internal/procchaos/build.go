@@ -1,0 +1,11 @@
+package procchaos
+
+import "os/exec"
+
+// buildCommand compiles the isis-node daemon from the repository the caller
+// runs in. The test binary's and isis-bench's working directory is the
+// repository (or a package inside it), which `go build` resolves through
+// the enclosing module.
+func buildCommand(bin string) *exec.Cmd {
+	return exec.Command("go", "build", "-o", bin, "repro/cmd/isis-node")
+}

@@ -1,0 +1,50 @@
+package procchaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSmoke is the multi-process acceptance test in miniature: build
+// the real isis-node binary, run a supervised 3-process fleet with WAL
+// durability, kill members for a few seconds, and require a clean grade —
+// membership restored, no acked write lost, digests converged. The full
+// profile (5 processes, 60s, stalls on) runs from cmd/isis-procchaos and in
+// the nightly CI job; this keeps a compiled-in floor under `go test`.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped with -short")
+	}
+	dir := t.TempDir()
+	bin, err := BuildNodeBinary(dir)
+	if err != nil {
+		t.Fatalf("building isis-node: %v", err)
+	}
+	res, err := Run(Config{
+		Bin:       bin,
+		N:         3,
+		Duration:  6 * time.Second,
+		Seed:      42,
+		BasePort:  7801,
+		AdminPort: 8801,
+		WALRoot:   dir + "/wal",
+		LogDir:    dir + "/logs",
+		StallProb: -1, // kills only: stalls need the full 2s window to be fair
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("chaos violations: %v", res.Violations)
+	}
+	if res.Kills == 0 {
+		t.Error("schedule produced no kills; smoke proved nothing")
+	}
+	if res.AckedWrites == 0 {
+		t.Error("no writes were acked; grading had nothing to check")
+	}
+	t.Logf("kills=%d restarts=%d acked=%d/%d recovery mean=%s max=%s",
+		res.Kills, res.Restarts, res.AckedWrites, res.Writes,
+		res.MeanRecovery().Round(time.Millisecond), res.MaxRecovery().Round(time.Millisecond))
+}

@@ -1,0 +1,353 @@
+package supervisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// FleetConfig describes a supervised isis-node fleet on one machine: N
+// slots, slot i (0-based) being site i+1 listening on BasePort+i with its
+// admin endpoint on AdminPort+i and its write-ahead log under
+// <WALRoot>/site-<i+1>. Slot 0's first run founds the service; every other
+// run — including slot 0's own restarts — joins through the other slots'
+// listen addresses, so the fleet heals no matter which members are dead.
+type FleetConfig struct {
+	// Bin is the isis-node binary to run.
+	Bin string
+	// N is the fleet size (how many slots to keep running).
+	N int
+	// BasePort and AdminPort are the first slot's transport and admin HTTP
+	// ports; slot i adds i to both. AdminPort 0 disables admin endpoints.
+	BasePort  int
+	AdminPort int
+	// Host is the address the fleet binds on. Empty selects 127.0.0.1.
+	Host string
+	// Mode ("kv" or "service") and Service name the application served.
+	Mode    string
+	Service string
+	// Resiliency is passed through to the daemon (0 keeps its default).
+	Resiliency int
+	// WALRoot holds per-slot write-ahead-log directories; empty disables
+	// durability.
+	WALRoot string
+	// LogDir receives one <slot>.log file per member (stdout+stderr,
+	// appended across restarts). Empty inherits the supervisor's stdio.
+	LogDir string
+	// JoinTimeout is passed through to the daemon (0 keeps its default).
+	JoinTimeout time.Duration
+	// DoctorInterval enables the fleet doctor: a health pass every interval
+	// that restarts slots stranded in a rival partition. A member stalled
+	// long enough to be evicted can wake believing everyone else is dead and
+	// install a rival view of its own making — same view id as the real
+	// group's, so no protocol message ever corrects it — and it will even
+	// admit restarted members that try it as their join contact, silently
+	// growing a stale splinter group. The daemon's own eviction exit catches
+	// the case where the real install reaches it; the doctor catches the
+	// silent ones, which only a global observer can see: it compares the
+	// view memberships the admin endpoints report, and when live *disjoint*
+	// views coexist it restarts every slot outside the winning partition
+	// (most members, then most operations applied). Three consecutive
+	// strikes restart a slot (SIGKILL; the supervisor replaces it with a
+	// bumped incarnation and it rejoins the survivors). Zero disables;
+	// requires AdminPort.
+	DoctorInterval time.Duration
+}
+
+func (f FleetConfig) host() string {
+	if f.Host == "" {
+		return "127.0.0.1"
+	}
+	return f.Host
+}
+
+// SlotName returns the supervised member name of slot i: "site-<i+1>".
+func (f FleetConfig) SlotName(i int) string { return fmt.Sprintf("site-%d", i+1) }
+
+// ListenAddr returns slot i's transport address.
+func (f FleetConfig) ListenAddr(i int) string {
+	return fmt.Sprintf("%s:%d", f.host(), f.BasePort+i)
+}
+
+// AdminAddr returns slot i's admin HTTP address ("" when disabled).
+func (f FleetConfig) AdminAddr(i int) string {
+	if f.AdminPort == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d", f.host(), f.AdminPort+i)
+}
+
+// Spec builds the supervised MemberSpec for slot i. The incarnation is
+// restarts+1, so every replacement process is distinguishable from its
+// crashed predecessor while keeping the slot's site id, ports and WAL
+// directory; the contact list names every *other* slot, and only slot 0's
+// very first run founds the service.
+func (f FleetConfig) Spec(i int) MemberSpec {
+	return MemberSpec{
+		Name: f.SlotName(i),
+		Command: func(restarts int) *exec.Cmd {
+			args := []string{
+				"-site", fmt.Sprint(i + 1),
+				"-incarnation", fmt.Sprint(restarts + 1),
+				"-listen", f.ListenAddr(i),
+				"-mode", f.Mode,
+				"-service", f.Service,
+			}
+			if a := f.AdminAddr(i); a != "" {
+				args = append(args, "-admin", a)
+			}
+			if f.WALRoot != "" {
+				args = append(args, "-wal", f.WALRoot)
+			}
+			if f.Resiliency > 0 {
+				args = append(args, "-resiliency", fmt.Sprint(f.Resiliency))
+			}
+			if f.JoinTimeout > 0 {
+				args = append(args, "-join-timeout", f.JoinTimeout.String())
+			}
+			if f.Mode == "kv" {
+				// Fleet-wide majority for the primary-partition write rule —
+				// set explicitly because the founder's first run has no
+				// contact list to derive it from.
+				args = append(args, "-write-quorum", fmt.Sprint(f.N/2+1))
+			}
+			if i == 0 && restarts == 0 {
+				args = append(args, "-create")
+			} else {
+				contacts := ""
+				for j := 0; j < f.N; j++ {
+					if j == i {
+						continue
+					}
+					if contacts != "" {
+						contacts += ","
+					}
+					contacts += fmt.Sprintf("%d=%s", j+1, f.ListenAddr(j))
+				}
+				args = append(args, "-contact", contacts)
+			}
+			cmd := exec.Command(f.Bin, args...)
+			if f.LogDir != "" {
+				if lf, err := os.OpenFile(
+					filepath.Join(f.LogDir, f.SlotName(i)+".log"),
+					os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+					cmd.Stdout, cmd.Stderr = lf, lf
+				}
+			} else {
+				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			}
+			return cmd
+		},
+	}
+}
+
+// StartFleet spawns all N slots under a new supervisor. Slot 0 is added
+// first (it founds the service); joiners are added immediately after and
+// retry until the founder is up. With DoctorInterval set the fleet doctor
+// runs alongside until Stop.
+func StartFleet(f FleetConfig, cfg Config) (*Supervisor, error) {
+	if f.LogDir != "" {
+		if err := os.MkdirAll(f.LogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet log dir: %w", err)
+		}
+	}
+	s := New(cfg)
+	for i := 0; i < f.N; i++ {
+		if err := s.Add(f.Spec(i)); err != nil {
+			s.Stop()
+			return nil, err
+		}
+	}
+	if f.DoctorInterval > 0 && f.AdminPort != 0 {
+		go doctor(s, f)
+	}
+	return s, nil
+}
+
+// doctor is the fleet health pass (see FleetConfig.DoctorInterval). Rival
+// partitions never merge on their own (their installs are mutual ghosts to
+// each other), so the doctor restarts the losers; the strike counter keeps
+// one slow poll or an in-flight view change from triggering a restart.
+func doctor(s *Supervisor, f FleetConfig) {
+	const strikesToRestart = 3
+	strikes := make([]int, f.N)
+	t := time.NewTicker(f.DoctorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.Done():
+			return
+		case <-t.C:
+		}
+		sts := make([]*NodeStatus, f.N)
+		for i := range sts {
+			if st, err := PollStatus(f.AdminAddr(i)); err == nil {
+				cp := st
+				sts[i] = &cp
+			}
+		}
+		for i, bad := range strandedSlots(sts) {
+			if !bad {
+				strikes[i] = 0
+				continue
+			}
+			if strikes[i]++; strikes[i] < strikesToRestart {
+				continue
+			}
+			strikes[i] = 0
+			s.cfg.Logger.Printf("supervisor: doctor: %s stranded in rival view %v; restarting it into the winning partition",
+				f.SlotName(i), sts[i].ViewMembers)
+			_ = s.Signal(f.SlotName(i), syscall.SIGKILL)
+		}
+	}
+}
+
+// strandedSlots flags the slots the doctor should restart. KV daemons report
+// their view membership, enabling exact partition analysis: group slots by
+// reported member set, pick the winning partition (most members — the driver
+// or other non-fleet replicas count — then most applied operations, then the
+// lowest slot), and flag every reachable slot whose view is *disjoint* from
+// the winner's. Overlapping views are one group mid-change and are spared; a
+// fleet that collapsed to a single partition of any size is left alone —
+// its survivors hold the freshest state. Without view info (service-mode
+// daemons) it falls back to the coarse rule: a one-member view is stranded
+// while some other slot demonstrates a live multi-member group.
+func strandedSlots(sts []*NodeStatus) []bool {
+	out := make([]bool, len(sts))
+	type part struct {
+		members map[string]bool
+		applied uint64
+		minSlot int
+	}
+	parts := make(map[string]*part)
+	keyOf := func(members []string) string {
+		ms := append([]string(nil), members...)
+		sort.Strings(ms)
+		return strings.Join(ms, ",")
+	}
+	for i, st := range sts {
+		if st == nil || len(st.ViewMembers) == 0 {
+			continue
+		}
+		key := keyOf(st.ViewMembers)
+		p := parts[key]
+		if p == nil {
+			p = &part{members: make(map[string]bool, len(st.ViewMembers)), minSlot: i}
+			for _, m := range st.ViewMembers {
+				p.members[m] = true
+			}
+			parts[key] = p
+		}
+		if st.Applied > p.applied {
+			p.applied = st.Applied
+		}
+	}
+	if len(parts) > 0 {
+		var win *part
+		for _, p := range parts {
+			if win == nil ||
+				len(p.members) > len(win.members) ||
+				(len(p.members) == len(win.members) && p.applied > win.applied) ||
+				(len(p.members) == len(win.members) && p.applied == win.applied && p.minSlot < win.minSlot) {
+				win = p
+			}
+		}
+		for i, st := range sts {
+			if st == nil || len(st.ViewMembers) == 0 {
+				continue
+			}
+			disjoint := true
+			for _, m := range st.ViewMembers {
+				if win.members[m] {
+					disjoint = false
+					break
+				}
+			}
+			out[i] = disjoint
+		}
+		return out
+	}
+	// Fallback: no view info at all.
+	quorate := false
+	for _, st := range sts {
+		if st != nil && st.Members >= 2 {
+			quorate = true
+		}
+	}
+	if !quorate {
+		return out
+	}
+	for i, st := range sts {
+		if st != nil && st.Members == 1 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// NodeStatus mirrors the daemon's /status JSON document.
+type NodeStatus struct {
+	PID         string   `json:"pid"`
+	Addr        string   `json:"addr"`
+	Mode        string   `json:"mode"`
+	Service     string   `json:"service"`
+	Members     int      `json:"members"`
+	ViewID      uint64   `json:"view_id"`
+	ViewMembers []string `json:"view_members"`
+	Applied     uint64   `json:"applied"`
+	Keys        int      `json:"keys"`
+	Digest      uint64   `json:"digest"`
+	IsLeader    bool     `json:"is_leader"`
+	Dials       uint64   `json:"dials"`
+	Reconnects  uint64   `json:"reconnects"`
+	FramesSent  uint64   `json:"frames_sent"`
+	FramesShed  uint64   `json:"frames_shed"`
+	WriteErrors uint64   `json:"write_errors"`
+	PeerDowns   uint64   `json:"peer_downs"`
+}
+
+// PollStatus fetches one node's /status document.
+func PollStatus(adminAddr string) (NodeStatus, error) {
+	var st NodeStatus
+	client := http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + adminAddr + "/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: http %d", adminAddr, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// AwaitMembers polls every admin endpoint until each reports at least n
+// members (the fleet has converged to one view of size ≥ n) or the timeout
+// expires, returning the last statuses observed and whether it converged.
+func AwaitMembers(adminAddrs []string, n int, timeout time.Duration) ([]NodeStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	var last []NodeStatus
+	for time.Now().Before(deadline) {
+		last = last[:0]
+		ok := true
+		for _, a := range adminAddrs {
+			st, err := PollStatus(a)
+			if err != nil || st.Members < n {
+				ok = false
+			}
+			last = append(last, st)
+		}
+		if ok {
+			return last, true
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return last, false
+}

@@ -1,0 +1,187 @@
+package supervisor
+
+import (
+	"io"
+	"log"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func await(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSupervisorRestartsCrashedMember is the groupmgr contract: a member
+// that keeps dying keeps getting replaced, and the restart counter feeds
+// the next run's command line (fleet specs derive -incarnation from it).
+func TestSupervisorRestartsCrashedMember(t *testing.T) {
+	s := New(Config{Restart: true, BackoffMin: 10 * time.Millisecond, Logger: quiet()})
+	defer s.Stop()
+	seen := make(chan int, 16)
+	if err := s.Add(MemberSpec{
+		Name: "crasher",
+		Command: func(restarts int) *exec.Cmd {
+			select {
+			case seen <- restarts:
+			default:
+			}
+			return exec.Command("sh", "-c", "exit 1")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, 10*time.Second, "three runs", func() bool {
+		for _, st := range s.Status() {
+			if st.Name == "crasher" && st.Restarts >= 3 {
+				return true
+			}
+		}
+		return false
+	})
+	if first := <-seen; first != 0 {
+		t.Errorf("first run saw restarts=%d, want 0", first)
+	}
+	// Later runs must observe a growing restart count.
+	var maxSeen int
+	for {
+		select {
+		case n := <-seen:
+			if n > maxSeen {
+				maxSeen = n
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if maxSeen < 2 {
+		t.Errorf("max restarts passed to Command = %d, want >= 2", maxSeen)
+	}
+}
+
+// TestSupervisorRunOnceDoesNotRestart pins the watch-only mode.
+func TestSupervisorRunOnceDoesNotRestart(t *testing.T) {
+	s := New(Config{Restart: false, Logger: quiet()})
+	defer s.Stop()
+	if err := s.Add(MemberSpec{
+		Name:    "oneshot",
+		Command: func(int) *exec.Cmd { return exec.Command("sh", "-c", "exit 0") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, 5*time.Second, "exit", func() bool { return s.Running() == 0 })
+	time.Sleep(100 * time.Millisecond)
+	for _, st := range s.Status() {
+		if st.Running || st.Restarts > 1 {
+			t.Errorf("run-once member restarted: %+v", st)
+		}
+	}
+}
+
+// TestSupervisorSignalAndReplace kills a healthy long-running member with
+// SIGKILL (what the fleet doctor does to a stranded slot) and checks the
+// supervisor replaces it with a fresh process.
+func TestSupervisorSignalAndReplace(t *testing.T) {
+	s := New(Config{Restart: true, BackoffMin: 10 * time.Millisecond, Logger: quiet()})
+	defer s.Stop()
+	if err := s.Add(MemberSpec{
+		Name:    "worker",
+		Command: func(int) *exec.Cmd { return exec.Command("sleep", "300") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, 5*time.Second, "start", func() bool { return s.OSPid("worker") != 0 })
+	firstPid := s.OSPid("worker")
+	if err := s.Signal("worker", syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	await(t, 10*time.Second, "replacement", func() bool {
+		p := s.OSPid("worker")
+		return p != 0 && p != firstPid
+	})
+}
+
+// TestStrandedSlots exercises the doctor's partition analysis on canned
+// status documents — the pure-logic core of rival-view healing.
+func TestStrandedSlots(t *testing.T) {
+	st := func(applied uint64, members ...string) *NodeStatus {
+		return &NodeStatus{Applied: applied, ViewMembers: members, Members: len(members)}
+	}
+	cases := []struct {
+		name string
+		sts  []*NodeStatus
+		want []bool
+	}{
+		{
+			name: "healthy single partition",
+			sts:  []*NodeStatus{st(9, "p1", "p2", "p3"), st(9, "p1", "p2", "p3"), st(9, "p1", "p2", "p3")},
+			want: []bool{false, false, false},
+		},
+		{
+			name: "ghost singleton vs majority",
+			sts:  []*NodeStatus{st(3, "p1"), st(9, "p2", "p3"), st(9, "p2", "p3")},
+			want: []bool{true, false, false},
+		},
+		{
+			name: "splinter pair loses to larger partition",
+			sts: []*NodeStatus{
+				st(4, "p1", "p4"), st(9, "p2", "p3", "p5"), st(9, "p2", "p3", "p5"),
+				st(4, "p1", "p4"), st(9, "p2", "p3", "p5"),
+			},
+			want: []bool{true, false, false, true, false},
+		},
+		{
+			name: "equal size: most applied wins",
+			sts:  []*NodeStatus{st(3, "p1", "p4"), st(9, "p2", "p3")},
+			want: []bool{true, false},
+		},
+		{
+			name: "overlapping views are one group mid-change",
+			sts:  []*NodeStatus{st(9, "p1", "p2", "p3"), st(9, "p1", "p2"), st(9, "p1", "p2", "p3")},
+			want: []bool{false, false, false},
+		},
+		{
+			name: "collapsed to one singleton partition: spared",
+			sts:  []*NodeStatus{st(9, "p1"), nil, nil},
+			want: []bool{false, false, false},
+		},
+		{
+			name: "unreachable slots never flagged",
+			sts:  []*NodeStatus{nil, st(9, "p2", "p3"), st(1, "p1")},
+			want: []bool{false, false, true},
+		},
+		{
+			name: "no view info: singleton while quorate (service mode fallback)",
+			sts: []*NodeStatus{
+				{Members: 1}, {Members: 3}, {Members: 3},
+			},
+			want: []bool{true, false, false},
+		},
+		{
+			name: "no view info, nobody quorate: spare all",
+			sts:  []*NodeStatus{{Members: 1}, {Members: 1}, nil},
+			want: []bool{false, false, false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := strandedSlots(tc.sts)
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("slot %d: stranded=%v, want %v (full: %v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}

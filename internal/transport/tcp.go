@@ -3,12 +3,14 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -30,18 +32,138 @@ import (
 // On the wire every frame is a 4-byte big-endian payload length followed by
 // the internal/wire binary encoding of the batch (plus optional hello
 // metadata). The codec replaced encoding/gob: fixed layout instead of
-// per-frame type metadata, an append into a per-connection scratch buffer
-// instead of reflective encoding, so steady-state sending performs zero
+// per-frame type metadata, an append into a pooled scratch buffer instead of
+// reflective encoding, so steady-state sending performs near-zero
 // allocations per frame and decoding is a bounds-checked linear scan.
+//
+// # Connection management
+//
+// Each destination gets one peerConn: a bounded queue of encoded frames
+// drained by a writer goroutine that owns the socket. The writer dials
+// lazily, enables TCP keepalives, reconnects with exponential backoff and
+// jitter, and puts a deadline on every write so a hung peer (stopped
+// process, full socket buffers on a dead path) errors out instead of
+// blocking the sender forever; a failed write closes the connection and the
+// frame is retried once on a fresh dial, after which it is dropped — the
+// reliability layer's NAK/retransmit machinery repairs the gap end-to-end.
+// A full queue sheds its oldest frame, so a slow peer loses its own traffic
+// instead of wedging the outbox flush toward everyone else. When
+// FailThreshold consecutive dial-or-write failures accumulate, the peer is
+// declared down: sends fail fast, the peer-down handler (wired to the
+// failure detector by the boot package) is told, and the peer is re-probed
+// at the backoff ceiling or immediately when traffic from it arrives.
 type TCP struct {
+	cfg TCPConfig
+
 	mu    sync.RWMutex
 	peers map[types.ProcessID]string // pid -> host:port
 	local map[types.ProcessID]bool   // pids attached to this network
 }
 
-// NewTCP creates an empty TCP network.
-func NewTCP() *TCP {
-	return &TCP{peers: make(map[types.ProcessID]string), local: make(map[types.ProcessID]bool)}
+// TCPConfig tunes the hardened connection management. The zero value
+// selects production defaults; tests shrink the timeouts.
+type TCPConfig struct {
+	// DialTimeout bounds one connection attempt. Zero selects 1s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; expiry closes the connection and
+	// the next send redials. Zero selects 3s.
+	WriteTimeout time.Duration
+	// KeepAlive is the TCP keepalive period set on every connection (both
+	// dialed and accepted), so a peer that vanished without a FIN is torn
+	// down by the kernel. Zero selects 15s; negative disables.
+	KeepAlive time.Duration
+	// QueueFrames bounds each peer's send queue. A full queue sheds its
+	// oldest frame. Zero selects 256.
+	QueueFrames int
+	// BackoffMin and BackoffMax bound the reconnect backoff (exponential,
+	// ±50% jitter). Zero selects 20ms and 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// FailThreshold is how many consecutive dial-or-write failures mark a
+	// peer down (failing sends fast, notifying the peer-down handler). Zero
+	// selects 3.
+	FailThreshold int
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 3 * time.Second
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 15 * time.Second
+	}
+	if c.QueueFrames <= 0 {
+		c.QueueFrames = 256
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 20 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	return c
+}
+
+// TCPStats count one endpoint's connection-management activity. All fields
+// are cumulative.
+type TCPStats struct {
+	Dials         uint64 // successful outbound connections
+	DialErrors    uint64 // failed connection attempts
+	Reconnects    uint64 // successful dials replacing a broken connection
+	FramesSent    uint64
+	BytesSent     uint64
+	WriteTimeouts uint64 // writes that hit the write deadline
+	WriteErrors   uint64 // writes that failed for any reason (timeouts included)
+	FramesShed    uint64 // frames dropped by queue backpressure
+	FramesDropped uint64 // frames dropped because the peer is down or unreachable
+	PeerDowns     uint64 // down declarations handed to the peer-down handler
+}
+
+// ErrPeerDown reports a send to a peer currently declared down (consecutive
+// connection failures reached the threshold). The peer is re-probed at the
+// backoff ceiling, or immediately once traffic from it arrives.
+var ErrPeerDown = fmt.Errorf("transport: peer down")
+
+// ErrBackpressure reports a frame shed because the peer's bounded send
+// queue stayed full (slow or stalled receiver).
+var ErrBackpressure = fmt.Errorf("transport: send queue full")
+
+// PeerDownNotifier is implemented by endpoints that can report peers whose
+// connections are irrecoverably failing; the boot package wires the handler
+// to the failure detector so dead daemons are suspected from the socket,
+// not only from missed heartbeats.
+type PeerDownNotifier interface {
+	SetPeerDownHandler(func(types.ProcessID))
+}
+
+// ConnCutter is implemented by endpoints whose live connections can be
+// severed (chaos injection, reconnect tests). The next send redials.
+type ConnCutter interface {
+	CutConnections() int
+}
+
+// TCPStatser exposes an endpoint's connection-management counters.
+type TCPStatser interface {
+	TCPStats() TCPStats
+}
+
+// NewTCP creates an empty TCP network with default connection management.
+func NewTCP() *TCP { return NewTCPWithConfig(TCPConfig{}) }
+
+// NewTCPWithConfig creates an empty TCP network with explicit
+// connection-management knobs.
+func NewTCPWithConfig(cfg TCPConfig) *TCP {
+	return &TCP{
+		cfg:   cfg.withDefaults(),
+		peers: make(map[types.ProcessID]string),
+		local: make(map[types.ProcessID]bool),
+	}
 }
 
 // AddPeer registers the listen address of a process.
@@ -89,9 +211,10 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 	ep := &tcpEndpoint{
 		pid:   pid,
 		net:   t,
+		cfg:   t.cfg,
 		ln:    ln,
 		inbox: make(chan []*types.Message, 1024),
-		conns: make(map[types.ProcessID]*tcpConn),
+		conns: make(map[types.ProcessID]*peerConn),
 		done:  make(chan struct{}),
 	}
 	t.markLocal(pid)
@@ -100,52 +223,31 @@ func (t *TCP) AttachAt(pid types.ProcessID, addr string) (Endpoint, error) {
 	return ep, nil
 }
 
-type tcpConn struct {
-	mu        sync.Mutex
-	conn      net.Conn
-	scratch   []byte // reused encode buffer: length prefix + wire frame
-	helloSent bool
-}
-
-// writeFrame encodes msgs (plus the hello metadata on the connection's first
-// frame) into the connection's scratch buffer and writes it as one
-// length-prefixed unit with a single conn.Write (one syscall per batch).
-// The scratch buffer is reused across frames, so steady state the encode
-// path allocates nothing. Oversized frames are rejected before any byte is
-// written — first by estimate (so a hopeless frame never inflates the
-// scratch buffer), then exactly after encoding — which means an
-// ErrFrameTooLarge leaves the connection's stream untouched and usable.
-// Callers hold c.mu.
-func (c *tcpConn) writeFrame(msgs []*types.Message, helloFrom types.ProcessID, helloAddr string) error {
-	estimate := 0
-	for _, m := range msgs {
-		estimate += m.WireSize()
-	}
-	if estimate > wire.MaxFrameBytes {
-		return fmt.Errorf("tcp transport: frame of ~%d bytes exceeds limit: %w", estimate, wire.ErrFrameTooLarge)
-	}
-	b := append(c.scratch[:0], 0, 0, 0, 0) // room for the length prefix
-	b = wire.AppendFrame(b, msgs, helloFrom, helloAddr)
-	c.scratch = b
-	payload := len(b) - 4
-	if payload > wire.MaxFrameBytes {
-		return fmt.Errorf("tcp transport: frame of %d bytes exceeds limit: %w", payload, wire.ErrFrameTooLarge)
-	}
-	binary.BigEndian.PutUint32(b[:4], uint32(payload))
-	_, err := c.conn.Write(b)
-	return err
-}
-
 type tcpEndpoint struct {
 	pid   types.ProcessID
 	net   *TCP
+	cfg   TCPConfig
 	ln    net.Listener
 	inbox chan []*types.Message
 
+	bufPool sync.Pool // *[]byte frame buffers (length prefix + wire frame)
+	stats   tcpCounters
+
+	peerDownMu sync.RWMutex
+	peerDown   func(types.ProcessID)
+
 	mu     sync.Mutex
-	conns  map[types.ProcessID]*tcpConn
+	conns  map[types.ProcessID]*peerConn
 	closed bool
 	done   chan struct{}
+}
+
+// tcpCounters is TCPStats with atomic fields.
+type tcpCounters struct {
+	dials, dialErrors, reconnects    atomic.Uint64
+	framesSent, bytesSent            atomic.Uint64
+	writeTimeouts, writeErrors       atomic.Uint64
+	framesShed, framesDropped, downs atomic.Uint64
 }
 
 func (e *tcpEndpoint) PID() types.ProcessID           { return e.pid }
@@ -154,13 +256,105 @@ func (e *tcpEndpoint) Inbox() <-chan []*types.Message { return e.inbox }
 // Addr returns the endpoint's listen address.
 func (e *tcpEndpoint) Addr() string { return e.ln.Addr().String() }
 
+// TCPStats returns a snapshot of the endpoint's connection counters.
+func (e *tcpEndpoint) TCPStats() TCPStats {
+	return TCPStats{
+		Dials:         e.stats.dials.Load(),
+		DialErrors:    e.stats.dialErrors.Load(),
+		Reconnects:    e.stats.reconnects.Load(),
+		FramesSent:    e.stats.framesSent.Load(),
+		BytesSent:     e.stats.bytesSent.Load(),
+		WriteTimeouts: e.stats.writeTimeouts.Load(),
+		WriteErrors:   e.stats.writeErrors.Load(),
+		FramesShed:    e.stats.framesShed.Load(),
+		FramesDropped: e.stats.framesDropped.Load(),
+		PeerDowns:     e.stats.downs.Load(),
+	}
+}
+
+// SetPeerDownHandler installs the callback invoked (from a writer
+// goroutine) when a peer's connections fail FailThreshold times in a row.
+func (e *tcpEndpoint) SetPeerDownHandler(fn func(types.ProcessID)) {
+	e.peerDownMu.Lock()
+	e.peerDown = fn
+	e.peerDownMu.Unlock()
+}
+
+func (e *tcpEndpoint) notifyPeerDown(pid types.ProcessID) {
+	e.stats.downs.Add(1)
+	e.peerDownMu.RLock()
+	fn := e.peerDown
+	e.peerDownMu.RUnlock()
+	if fn != nil {
+		fn(pid)
+	}
+}
+
+// CutConnections severs every live outbound connection of this endpoint
+// (the sockets are closed from under their writers, exactly like a network
+// cut mid-frame) and returns how many were cut. Queued frames survive; the
+// writers redial on the next frame.
+func (e *tcpEndpoint) CutConnections() int {
+	e.mu.Lock()
+	conns := make([]*peerConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	cut := 0
+	for _, c := range conns {
+		if c.cutConn() {
+			cut++
+		}
+	}
+	return cut
+}
+
+// noteAlive clears a peer's down state: traffic from it proves the process
+// is reachable, so the next send may redial immediately instead of waiting
+// out the backoff ceiling.
+func (e *tcpEndpoint) noteAlive(pid types.ProcessID) {
+	e.mu.Lock()
+	c := e.conns[pid]
+	e.mu.Unlock()
+	if c != nil {
+		c.markAlive()
+	}
+}
+
+func (e *tcpEndpoint) getBuf() []byte {
+	if p, ok := e.bufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 4<<10)
+}
+
+func (e *tcpEndpoint) putBuf(b []byte) {
+	if cap(b) > wire.MaxFrameBytes/4 {
+		return // never pool pathological buffers
+	}
+	e.bufPool.Put(&b)
+}
+
 func (e *tcpEndpoint) acceptLoop() {
 	for {
 		conn, err := e.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		e.configureConn(conn)
 		go e.readLoop(conn)
+	}
+}
+
+// configureConn applies keepalives to a connection (accepted or dialed).
+func (e *tcpEndpoint) configureConn(conn net.Conn) {
+	if e.cfg.KeepAlive <= 0 {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(e.cfg.KeepAlive)
 	}
 }
 
@@ -204,10 +398,15 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		// local route.
 		if !f.HelloFrom.IsNil() && f.HelloAddr != "" && !e.net.isLocal(f.HelloFrom) {
 			e.net.AddPeer(f.HelloFrom, f.HelloAddr)
+			e.noteAlive(f.HelloFrom)
 		}
 		if len(f.Msgs) == 0 {
 			continue // hello-only frame
 		}
+		// Inbound traffic is proof of life: clear any down state so the
+		// next outbound send probes immediately (a process recovering from
+		// a stall announces itself by its own resumed traffic).
+		e.noteAlive(f.Msgs[0].From)
 		select {
 		case e.inbox <- f.Msgs:
 		case <-e.done:
@@ -253,64 +452,52 @@ func (e *tcpEndpoint) SendBatch(msgs []*types.Message) error {
 	return nil
 }
 
+// sendFrame encodes one frame and hands it to the destination's peer
+// connection. Encoding happens synchronously on the caller's goroutine —
+// an oversized frame is rejected here, before any byte reaches a socket,
+// so the connection's stream stays untouched and usable — while the socket
+// write happens on the peer's writer goroutine, behind its bounded queue.
 func (e *tcpEndpoint) sendFrame(msgs []*types.Message) error {
 	to := msgs[0].To
+	b := append(e.getBuf(), 0, 0, 0, 0) // room for the length prefix
+	b = wire.AppendFrame(b, msgs, types.ProcessID{}, "")
+	payload := len(b) - 4
+	if payload > wire.MaxFrameBytes {
+		e.putBuf(b)
+		return fmt.Errorf("tcp transport send to %v: frame of %d bytes exceeds limit: %w", to, payload, wire.ErrFrameTooLarge)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+
+	c, err := e.peer(to)
+	if err != nil {
+		e.putBuf(b)
+		return err
+	}
+	return c.enqueue(b)
+}
+
+// peer returns (creating if needed) the connection manager for a
+// destination. Unknown destinations fail synchronously with
+// ErrNoSuchProcess, preserving the failure hint callers act on.
+func (e *tcpEndpoint) peer(to types.ProcessID) (*peerConn, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		e.mu.Unlock()
-		return fmt.Errorf("tcp transport send from %v: %w", e.pid, types.ErrStopped)
+		return nil, fmt.Errorf("tcp transport send from %v: %w", e.pid, types.ErrStopped)
 	}
-	c := e.conns[to]
-	e.mu.Unlock()
-
-	if c == nil {
-		addr, ok := e.net.PeerAddr(to)
-		if !ok {
-			return fmt.Errorf("tcp transport send to %v: %w", to, types.ErrNoSuchProcess)
-		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("tcp transport dial %v (%s): %w", to, addr, err)
-		}
-		c = &tcpConn{conn: conn}
-		e.mu.Lock()
-		if existing := e.conns[to]; existing != nil {
-			// Raced with another sender; keep the first connection.
-			e.mu.Unlock()
-			conn.Close()
-			c = existing
-		} else {
-			e.conns[to] = c
-			e.mu.Unlock()
-		}
+	if c, ok := e.conns[to]; ok {
+		return c, nil
 	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var helloFrom types.ProcessID
-	var helloAddr string
-	if !c.helloSent {
-		helloFrom = e.pid
-		helloAddr = e.advertiseAddr(c.conn)
+	if _, ok := e.net.PeerAddr(to); !ok {
+		return nil, fmt.Errorf("tcp transport send to %v: %w", to, types.ErrNoSuchProcess)
 	}
-	if err := c.writeFrame(msgs, helloFrom, helloAddr); err != nil {
-		// A rejected oversized frame is a caller error, not a connection
-		// failure: nothing was written, the stream is intact, and tearing it
-		// down would disrupt unrelated in-flight traffic to the same peer.
-		if errors.Is(err, wire.ErrFrameTooLarge) {
-			return fmt.Errorf("tcp transport send to %v: %w", to, err)
-		}
-		// Drop the broken connection so the next send redials.
-		e.mu.Lock()
-		if e.conns[to] == c {
-			delete(e.conns, to)
-		}
-		e.mu.Unlock()
-		c.conn.Close()
-		return fmt.Errorf("tcp transport send to %v: %w", to, err)
+	c := &peerConn{
+		ep: e,
+		to: to,
+		q:  make(chan []byte, e.cfg.QueueFrames),
 	}
-	c.helloSent = true
-	return nil
+	e.conns[to] = c
+	return c, nil
 }
 
 // advertiseAddr is the listen address announced in hello frames. A listener
@@ -339,12 +526,311 @@ func (e *tcpEndpoint) Close() error {
 	e.closed = true
 	close(e.done)
 	conns := e.conns
-	e.conns = make(map[types.ProcessID]*tcpConn)
+	e.conns = make(map[types.ProcessID]*peerConn)
 	e.mu.Unlock()
 
 	err := e.ln.Close()
 	for _, c := range conns {
-		c.conn.Close()
+		c.cutConn()
 	}
 	return err
+}
+
+// --- per-peer connection management ------------------------------------------
+
+// peerConn manages the outbound path to one destination: a bounded queue of
+// encoded frames and a writer goroutine owning the socket.
+type peerConn struct {
+	ep *tcpEndpoint
+	to types.ProcessID
+	q  chan []byte
+
+	mu          sync.Mutex
+	conn        net.Conn  // current socket; nil while disconnected
+	everDialed  bool      // a successful dial happened before (reconnect accounting)
+	fails       int       // consecutive dial-or-write failures
+	down        bool      // fails reached the threshold; sends fail fast
+	writerLive  bool      // the writer goroutine is running
+	lastFailure time.Time // when the last failure happened (down re-probe pacing)
+}
+
+// enqueue queues one encoded frame, starting the writer if needed. A full
+// queue sheds its oldest frame (the slow peer loses its own traffic; the
+// reliability layer repairs the gap). A peer declared down fails fast until
+// the backoff ceiling passes or inbound traffic clears the state.
+func (c *peerConn) enqueue(b []byte) error {
+	c.mu.Lock()
+	if c.down {
+		if time.Since(c.lastFailure) < c.ep.cfg.BackoffMax {
+			c.mu.Unlock()
+			c.ep.stats.framesDropped.Add(1)
+			c.ep.putBuf(b)
+			return fmt.Errorf("tcp transport send to %v: %w", c.to, ErrPeerDown)
+		}
+		// Probe: allow one frame through; a failure re-arms fast-fail.
+		c.down = false
+		c.fails = c.ep.cfg.FailThreshold - 1
+	}
+	if !c.writerLive {
+		c.writerLive = true
+		go c.writer()
+	}
+	c.mu.Unlock()
+
+	select {
+	case c.q <- b:
+		return nil
+	default:
+	}
+	// Queue full: shed the oldest queued frame to make room, keeping the
+	// freshest traffic (watermarks, recent casts) flowing.
+	select {
+	case old := <-c.q:
+		c.ep.stats.framesShed.Add(1)
+		c.ep.putBuf(old)
+	default:
+	}
+	select {
+	case c.q <- b:
+		return nil
+	default:
+		c.ep.stats.framesShed.Add(1)
+		c.ep.putBuf(b)
+		return fmt.Errorf("tcp transport send to %v: %w", c.to, ErrBackpressure)
+	}
+}
+
+// markAlive clears the down state (inbound traffic proves the peer lives).
+func (c *peerConn) markAlive() {
+	c.mu.Lock()
+	c.down = false
+	c.fails = 0
+	c.mu.Unlock()
+}
+
+// cutConn closes the current socket from under the writer (endpoint close,
+// chaos injection). Reports whether a live socket was cut.
+func (c *peerConn) cutConn() bool {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+		return true
+	}
+	return false
+}
+
+func (c *peerConn) currentConn() net.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+// writer drains the queue: ensure a connection, write each frame under a
+// deadline, account failures. It exits when the endpoint closes or when the
+// peer went down and the queue drained (a later send restarts it).
+func (c *peerConn) writer() {
+	for {
+		select {
+		case <-c.ep.done:
+			c.writerExit()
+			return
+		case b := <-c.q:
+			c.writeBuf(b)
+			c.ep.putBuf(b)
+			if c.drainIfDown() {
+				return
+			}
+		default:
+			// Queue empty: block until work arrives or the endpoint closes.
+			select {
+			case <-c.ep.done:
+				c.writerExit()
+				return
+			case b := <-c.q:
+				c.writeBuf(b)
+				c.ep.putBuf(b)
+				if c.drainIfDown() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// drainIfDown empties the queue and parks the writer once the peer is down,
+// so per-dead-peer goroutines are reaped instead of accumulating. Returns
+// true when the writer should exit.
+func (c *peerConn) drainIfDown() bool {
+	c.mu.Lock()
+	down := c.down
+	c.mu.Unlock()
+	if !down {
+		return false
+	}
+	for {
+		select {
+		case b := <-c.q:
+			c.ep.stats.framesDropped.Add(1)
+			c.ep.putBuf(b)
+		default:
+			c.writerExit()
+			return true
+		}
+	}
+}
+
+func (c *peerConn) writerExit() {
+	c.mu.Lock()
+	c.writerLive = false
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// writeBuf transmits one encoded frame: connect if needed, write under a
+// deadline, and on a broken write retry once on a fresh connection (the
+// common case — a cut socket with a live peer — loses nothing). A frame
+// that cannot be transmitted is dropped; NAK/retransmit repairs it.
+func (c *peerConn) writeBuf(b []byte) {
+	conn := c.currentConn()
+	if conn == nil {
+		if conn = c.redial(); conn == nil {
+			c.ep.stats.framesDropped.Add(1)
+			return
+		}
+	}
+	if c.writeTo(conn, b) == nil {
+		return
+	}
+	c.dropConn(conn)
+	c.noteFailure()
+	if conn = c.redial(); conn == nil {
+		c.ep.stats.framesDropped.Add(1)
+		return
+	}
+	if err := c.writeTo(conn, b); err != nil {
+		c.dropConn(conn)
+		c.noteFailure()
+		c.ep.stats.framesDropped.Add(1)
+	}
+}
+
+// writeTo writes one frame under the write deadline, accounting the result.
+func (c *peerConn) writeTo(conn net.Conn, b []byte) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(c.ep.cfg.WriteTimeout))
+	_, err := conn.Write(b)
+	if err == nil {
+		c.noteSuccess()
+		c.ep.stats.framesSent.Add(1)
+		c.ep.stats.bytesSent.Add(uint64(len(b)))
+		return nil
+	}
+	c.ep.stats.writeErrors.Add(1)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.ep.stats.writeTimeouts.Add(1)
+	}
+	return err
+}
+
+// redial establishes a fresh connection, sending the hello frame that
+// teaches the peer our return route. On failure it sleeps the jittered
+// exponential backoff (pacing the queue drain) and returns nil.
+func (c *peerConn) redial() net.Conn {
+	addr, ok := c.ep.net.PeerAddr(c.to)
+	if !ok {
+		c.noteFailure()
+		c.backoffSleep()
+		return nil
+	}
+	d := net.Dialer{Timeout: c.ep.cfg.DialTimeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		c.ep.stats.dialErrors.Add(1)
+		c.noteFailure()
+		c.backoffSleep()
+		return nil
+	}
+	c.ep.configureConn(conn)
+	if err := c.sendHello(conn); err != nil {
+		conn.Close()
+		c.ep.stats.dialErrors.Add(1)
+		c.noteFailure()
+		c.backoffSleep()
+		return nil
+	}
+	c.mu.Lock()
+	if c.everDialed {
+		c.ep.stats.reconnects.Add(1)
+	}
+	c.everDialed = true
+	c.conn = conn
+	c.mu.Unlock()
+	c.ep.stats.dials.Add(1)
+	return conn
+}
+
+// sendHello writes the identity frame a fresh connection opens with, so the
+// accepting side learns the dialer's return route.
+func (c *peerConn) sendHello(conn net.Conn) error {
+	b := append(c.ep.getBuf(), 0, 0, 0, 0)
+	b = wire.AppendFrame(b, nil, c.ep.pid, c.ep.advertiseAddr(conn))
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_ = conn.SetWriteDeadline(time.Now().Add(c.ep.cfg.WriteTimeout))
+	_, err := conn.Write(b)
+	c.ep.putBuf(b)
+	return err
+}
+
+func (c *peerConn) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+func (c *peerConn) noteSuccess() {
+	c.mu.Lock()
+	c.fails = 0
+	c.down = false
+	c.mu.Unlock()
+}
+
+// noteFailure counts one consecutive failure; crossing the threshold
+// declares the peer down and tells the endpoint's peer-down handler.
+func (c *peerConn) noteFailure() {
+	c.mu.Lock()
+	c.fails++
+	c.lastFailure = time.Now()
+	declare := c.fails >= c.ep.cfg.FailThreshold && !c.down
+	if declare {
+		c.down = true
+	}
+	c.mu.Unlock()
+	if declare {
+		c.ep.notifyPeerDown(c.to)
+	}
+}
+
+// backoffSleep pauses the writer for the jittered exponential backoff of
+// the current failure streak, interruptible by endpoint close.
+func (c *peerConn) backoffSleep() {
+	c.mu.Lock()
+	fails := c.fails
+	c.mu.Unlock()
+	d := c.ep.cfg.BackoffMin << uint(min(fails-1, 16))
+	if d > c.ep.cfg.BackoffMax || d <= 0 {
+		d = c.ep.cfg.BackoffMax
+	}
+	// ±50% jitter so a restarted daemon is not hammered in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	select {
+	case <-time.After(d):
+	case <-c.ep.done:
+	}
 }

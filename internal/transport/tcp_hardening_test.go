@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestTCPReconnectAfterCut severs the live connection out from under the
+// sender and checks the next send transparently redials: the frame arrives
+// and the stats record a reconnect, not just a dial.
+func TestTCPReconnectAfterCut(t *testing.T) {
+	tn := NewTCPWithConfig(TCPConfig{BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond})
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	send := func(payload string) {
+		t.Helper()
+		if err := a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte(payload)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("before")
+	if got := waitMsg(t, b); string(got.Payload) != "before" {
+		t.Fatalf("got %q", got.Payload)
+	}
+
+	if cut := a.(ConnCutter).CutConnections(); cut == 0 {
+		t.Fatal("expected a live connection to cut")
+	}
+	// The writer may need a failed write to notice the dead socket; the
+	// retry-on-fresh-connection path must still deliver every frame.
+	send("after")
+	if got := waitMsg(t, b); string(got.Payload) != "after" {
+		t.Fatalf("got %q after cut", got.Payload)
+	}
+	st := a.(TCPStatser).TCPStats()
+	if st.Reconnects == 0 {
+		t.Errorf("stats = %+v; want Reconnects > 0", st)
+	}
+}
+
+// TestTCPPeerDownFastFail points a peer entry at a dead address and checks
+// the failure path: after FailThreshold consecutive dial failures the peer
+// is declared down (handler notified once), and subsequent sends fail fast
+// with ErrPeerDown instead of re-dialing inside the send path.
+func TestTCPPeerDownFastFail(t *testing.T) {
+	// Reserve a port that is guaranteed closed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	tn := NewTCPWithConfig(TCPConfig{
+		DialTimeout:   200 * time.Millisecond,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    time.Minute, // keep the down state armed for the whole test
+		FailThreshold: 2,
+	})
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	tn.AddPeer(pid(9), dead)
+
+	downC := make(chan types.ProcessID, 8)
+	a.(PeerDownNotifier).SetPeerDownHandler(func(p types.ProcessID) { downC <- p })
+
+	msg := &types.Message{Kind: types.KindCast, From: pid(1), To: pid(9), Payload: []byte("x")}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := a.Send(msg)
+		if errors.Is(err, ErrPeerDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never declared down; last err %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	select {
+	case p := <-downC:
+		if p != pid(9) {
+			t.Errorf("down handler got %v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer-down handler never invoked")
+	}
+	st := a.(TCPStatser).TCPStats()
+	if st.PeerDowns == 0 || st.DialErrors == 0 {
+		t.Errorf("stats = %+v; want PeerDowns > 0 and DialErrors > 0", st)
+	}
+}
+
+// TestTCPBoundedQueueSheds wedges the writer against a receiver that never
+// reads (handshake completes in the kernel backlog, the buffers fill, every
+// write hits its deadline) and floods a 2-frame queue: the transport must
+// shed frames rather than block the sender or grow without bound.
+func TestTCPBoundedQueueSheds(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() // accepted by the kernel, never read by anyone
+
+	tn := NewTCPWithConfig(TCPConfig{
+		WriteTimeout:  100 * time.Millisecond,
+		QueueFrames:   2,
+		BackoffMin:    time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		FailThreshold: 1 << 30, // never declare down; this test is about the queue
+	})
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	tn.AddPeer(pid(9), ln.Addr().String())
+
+	payload := bytes.Repeat([]byte("q"), 256<<10)
+	msg := &types.Message{Kind: types.KindCast, From: pid(1), To: pid(9), Payload: payload}
+	deadline := time.Now().Add(15 * time.Second)
+	for a.(TCPStatser).TCPStats().FramesShed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never shed; stats %+v", a.(TCPStatser).TCPStats())
+		}
+		if err := a.Send(msg); err != nil && !errors.Is(err, ErrBackpressure) && !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("unexpected send error: %v", err)
+		}
+	}
+	st := a.(TCPStatser).TCPStats()
+	if st.FramesShed == 0 {
+		t.Errorf("stats = %+v; want FramesShed > 0", st)
+	}
+}
+
+// TestTCPWriteTimeoutRecovery checks a stalled connection is abandoned (the
+// write deadline fires, the socket is dropped) and the peer is reachable
+// again once it behaves: the deadline must not poison the peer entry.
+func TestTCPWriteTimeoutRecovery(t *testing.T) {
+	tn := NewTCPWithConfig(TCPConfig{
+		WriteTimeout: 100 * time.Millisecond,
+		BackoffMin:   time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+	})
+	a, err := tn.Attach(pid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := tn.Attach(pid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte("warm")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitMsg(t, b); string(got.Payload) != "warm" {
+		t.Fatalf("got %q", got.Payload)
+	}
+	// Cut and immediately resend a burst; with the short write deadline and
+	// backoff every frame must either arrive or be repaired by a later one —
+	// here we just require the last frame of the burst to land.
+	a.(ConnCutter).CutConnections()
+	for i := 0; i < 5; i++ {
+		_ = a.Send(&types.Message{Kind: types.KindCast, From: pid(1), To: pid(2), Payload: []byte("burst")})
+	}
+	gotOne := false
+	for !gotOne {
+		select {
+		case frame := <-b.Inbox():
+			for _, m := range frame {
+				if string(m.Payload) == "burst" {
+					gotOne = true
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no burst frame arrived after cut; stats %+v", a.(TCPStatser).TCPStats())
+		}
+	}
+}

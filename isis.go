@@ -110,6 +110,14 @@ type (
 	// write-ahead-log activity (offers, chunks, NAKs, restores, held
 	// deliveries applied or dropped, WAL appends and compactions).
 	StateTransferStats = group.StateTransferStats
+	// TCPConfig tunes the hardened TCP connection management (dial/write
+	// timeouts, keepalive, per-peer queue bound, reconnect backoff, the
+	// consecutive-failure threshold that declares a peer down).
+	TCPConfig = transport.TCPConfig
+	// TCPStats are one process's cumulative TCP connection-management
+	// counters (dials, reconnects, frames sent/shed/dropped, write
+	// timeouts, peer-down declarations).
+	TCPStats = transport.TCPStats
 )
 
 // Multicast orderings (the ISIS broadcast primitives).
@@ -161,6 +169,7 @@ type options struct {
 	fanout      int
 	resiliency  int
 	walDir      string
+	tcp         TCPConfig
 }
 
 // WithNetwork fully configures the simulated network fabric (latency model,
@@ -279,6 +288,14 @@ func WithoutWAL() Option {
 	return func(o *options) { o.walDir = "" }
 }
 
+// WithTCPConfig tunes the TCP substrate's connection management — dial and
+// write timeouts, keepalive period, per-peer send-queue bound, reconnect
+// backoff and the failure threshold that declares a peer down. Zero fields
+// keep the production defaults. Simulated runtimes ignore it.
+func WithTCPConfig(cfg TCPConfig) Option {
+	return func(o *options) { o.tcp = cfg }
+}
+
 // --- runtime -----------------------------------------------------------------
 
 // Runtime is a collection of processes sharing one deployment substrate.
@@ -327,7 +344,7 @@ func NewTCP(opts ...Option) *Runtime {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Runtime{opts: o, tcp: transport.NewTCP(), sites: make(map[uint32]siteUse)}
+	return &Runtime{opts: o, tcp: transport.NewTCPWithConfig(o.tcp), sites: make(map[uint32]siteUse)}
 }
 
 // Transport names the runtime's deployment substrate: "memory" or "tcp".
@@ -466,6 +483,48 @@ func (r *Runtime) SpawnAt(site uint32, listen string) (*Process, error) {
 	return r.adopt(bp), nil
 }
 
+// SpawnIncarnation is SpawnAt with an explicit incarnation number. A
+// supervised daemon restarted into the same slot comes back as the same
+// site with the incarnation bumped: surviving members tell the old
+// incarnation (still in their views until the failure detector finishes
+// with it) apart from the replacement asking to rejoin, while routing —
+// which is purely by site address — keeps working for contacts registered
+// under any incarnation. The restarted process reuses its slot's WAL
+// directory and listen address; only the incarnation changes.
+func (r *Runtime) SpawnIncarnation(site uint32, incarnation uint32, listen string) (*Process, error) {
+	if r.tcp == nil {
+		return nil, fmt.Errorf("isis: SpawnIncarnation(%d, %d, %q): %w", site, incarnation, listen, ErrWrongTransport)
+	}
+	if incarnation == 0 {
+		incarnation = 1
+	}
+	r.mu.Lock()
+	if r.sites[site] != 0 {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("isis: SpawnIncarnation(%d, %d, %q): site id already in use", site, incarnation, listen)
+	}
+	r.sites[site] = siteLocal
+	r.mu.Unlock()
+	release := func() {
+		r.mu.Lock()
+		delete(r.sites, site)
+		r.mu.Unlock()
+	}
+	pid := ProcessID{Site: types.SiteID(site), Incarnation: incarnation}
+	ep, err := r.tcp.AttachAt(pid, listen)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
+	}
+	bp, err := boot.Spawn(pid, transport.Fixed{Endpoint: ep}, r.opts.detector, r.opts.batching, r.walDirFor(site))
+	if err != nil {
+		_ = ep.Close()
+		release()
+		return nil, fmt.Errorf("isis: spawn at %s: %w", listen, err)
+	}
+	return r.adopt(bp), nil
+}
+
 // AddPeer registers the listen address of a process running elsewhere (in
 // another isis-node daemon). It fails with ErrWrongTransport on simulated
 // runtimes, where all processes share one fabric and need no registration.
@@ -499,7 +558,7 @@ func (r *Runtime) Crash(p *Process) {
 	if r.fabric != nil {
 		r.fabric.Crash(p.ID())
 	}
-	p.Stop()
+	p.boot.Halt()
 }
 
 // FaultPlan returns the fault plan attached with WithFaultPlan (nil when
@@ -526,7 +585,7 @@ func (r *Runtime) StepFaults(step int) []FaultEvent {
 		r.fabric.Inject(ev)
 		if ev.Kind == netsim.FaultCrash {
 			if p := r.processByID(ev.Proc); p != nil && !p.Stopped() {
-				p.Stop()
+				p.boot.Halt()
 				r.InjectFailure(p)
 			}
 		}
@@ -581,8 +640,29 @@ func (p *Process) Addr() string {
 	return ""
 }
 
-// Stop halts the process. Stop is idempotent.
+// Stop halts the process gracefully (write-ahead logs are drained to
+// stable storage first). Stop is idempotent.
 func (p *Process) Stop() { p.boot.Stop() }
+
+// CutTCPConnections severs every live outbound TCP connection of this
+// process, as a network cut mid-frame would, and returns how many were cut.
+// The transport redials on the next send; the reliability layer repairs any
+// frame lost in flight. It returns 0 on the simulated substrate.
+func (p *Process) CutTCPConnections() int {
+	if c, ok := p.boot.Node.Endpoint().(transport.ConnCutter); ok {
+		return c.CutConnections()
+	}
+	return 0
+}
+
+// TransportStats returns the process's TCP connection-management counters
+// (zero on the simulated substrate).
+func (p *Process) TransportStats() TCPStats {
+	if s, ok := p.boot.Node.Endpoint().(transport.TCPStatser); ok {
+		return s.TCPStats()
+	}
+	return TCPStats{}
+}
 
 // Stopped reports whether the process has been stopped.
 func (p *Process) Stopped() bool { return p.boot.Stopped() }
